@@ -1,0 +1,42 @@
+// Reproduces the paper's introductory measurement: on the binary32
+// baseline, the share of core+memory energy spent executing FP operations
+// (~30% in the paper) and moving FP operands between data memory and
+// registers (~20% more), i.e. about half of the total.
+#include <iostream>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main() {
+    std::cout << "=== Intro claim: energy share of FP computation on the "
+                 "binary32 baseline ===\n"
+              << "(paper: ~30% of core+memory energy in FP operations, ~20% in\n"
+              << " moving FP operands memory<->registers; ~50% combined)\n\n";
+
+    tp::util::Table table({"app", "FP ops", "FP operand moves", "other",
+                           "FP total"});
+    double sum_fp = 0.0;
+    double sum_mem = 0.0;
+    double sum_combined = 0.0;
+    const auto& names = tp::apps::app_names();
+    for (const auto& name : names) {
+        const auto app = tp::apps::make_app(name);
+        const auto report = tp::bench::simulate_baseline(*app);
+        const double total = report.energy.total();
+        const double fp = report.energy.fp_ops / total;
+        const double mem = report.energy.memory / total;
+        table.add_row({name, tp::util::Table::percent(fp),
+                       tp::util::Table::percent(mem),
+                       tp::util::Table::percent(1.0 - fp - mem),
+                       tp::util::Table::percent(fp + mem)});
+        sum_fp += fp;
+        sum_mem += mem;
+        sum_combined += fp + mem;
+    }
+    const auto n = static_cast<double>(names.size());
+    table.add_row({"average", tp::util::Table::percent(sum_fp / n),
+                   tp::util::Table::percent(sum_mem / n), "",
+                   tp::util::Table::percent(sum_combined / n)});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the FlexFloat type library in five minutes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iomanip>
+#include <iostream>
+
+#include "flexfloat/flexfloat.hpp"
+#include "flexfloat/flexfloat_dyn.hpp"
+#include "flexfloat/stats.hpp"
+
+int main() {
+    std::cout << "--- 1. flexfloat<e, m>: arbitrary formats with infix math ---\n";
+    // The paper's four formats have convenient aliases:
+    //   binary8_t  = flexfloat<5, 2>     binary16_t    = flexfloat<5, 10>
+    //   binary16alt_t = flexfloat<8, 7>  binary32_t    = flexfloat<8, 23>
+    tp::binary16_t a = 1.5;   // literals convert implicitly
+    tp::binary16_t b = 0.1;   // rounded to the nearest binary16 (0.0999756)
+    tp::binary16_t c = a * b + tp::binary16_t{2.0};
+    std::cout << "  1.5 * 0.1 + 2 in binary16 = " << std::setprecision(10) << c
+              << "  (bits 0x" << std::hex << c.bits() << std::dec << ")\n";
+
+    // Every operation rounds exactly like a hardware unit of that format
+    // (round-to-nearest-even, gradual underflow, Inf/NaN).
+    tp::flexfloat<6, 9> custom = 3.14159; // a 16-bit format of your own
+    std::cout << "  pi in a (1|6|9) format   = " << custom << "\n";
+
+    std::cout << "\n--- 2. mixed formats need explicit casts ---\n";
+    tp::binary32_t wide = 6.2831853f;
+    // tp::binary16_t bad = wide;          // does not compile: no implicit mix
+    auto narrow = tp::flexfloat_cast<5, 10>(wide); // explicit, like the FPU
+    std::cout << "  2*pi cast binary32 -> binary16: " << narrow << "\n";
+
+    std::cout << "\n--- 3. dynamic range matters: binary16 vs binary16alt ---\n";
+    tp::binary32_t big = 1.0e20f;
+    std::cout << "  1e20 -> binary16    = " << tp::flexfloat_cast<5, 10>(big)
+              << "   (saturates: 5-bit exponent)\n";
+    std::cout << "  1e20 -> binary16alt = " << tp::flexfloat_cast<8, 7>(big)
+              << " (fits: binary32-style 8-bit exponent)\n";
+
+    std::cout << "\n--- 4. runtime formats for tuning loops ---\n";
+    // FlexFloatDyn carries its format as a value: the precision-tuning
+    // tool changes formats between runs without recompiling.
+    const tp::FpFormat trial{8, 5}; // tuner trying 6 precision bits
+    tp::FlexFloatDyn x{0.7, trial};
+    tp::FlexFloatDyn y{0.2, trial};
+    std::cout << "  0.7 + 0.2 at (e=8, m=5) = " << (x + y) << "\n";
+
+    std::cout << "\n--- 5. operation statistics (programming-flow step 4) ---\n";
+    tp::global_stats().set_enabled(true);
+    tp::global_stats().reset();
+    tp::binary8_t acc = 0.0;
+    {
+        tp::VectorRegionGuard vectorizable; // manual tag, as in the paper
+        for (int i = 0; i < 8; ++i) {
+            acc += tp::binary8_t{0.25} * tp::binary8_t{0.5};
+        }
+    }
+    (void)tp::flexfloat_cast<5, 10>(acc);
+    tp::global_stats().print_report(std::cout);
+    tp::global_stats().set_enabled(false);
+    return 0;
+}

@@ -1,0 +1,39 @@
+// Machine-level view of a transprecision program: traces the tuned KNN
+// kernel, vectorizes it, and prints the head of the resulting instruction
+// stream as smallfloat-extension RISC-V assembly — packed flw-style loads,
+// vfsub.b/vfmul.b SIMD lanes and all.
+//
+// Run: ./build/examples/trace_listing [app] [lines]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/app.hpp"
+#include "isa/disassembler.hpp"
+#include "sim/platform.hpp"
+#include "tuning/search.hpp"
+
+int main(int argc, char** argv) {
+    const std::string app_name = argc > 1 ? argv[1] : "knn";
+    const std::size_t lines = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 48;
+
+    auto app = tp::apps::make_app(app_name);
+    tp::tuning::SearchOptions options;
+    options.epsilon = 1e-1;
+    options.type_system = tp::TypeSystem{tp::TypeSystemKind::V2};
+    const auto tuning = tp::tuning::distributed_search(*app, options);
+
+    app->prepare(0);
+    tp::sim::TpContext ctx;
+    (void)app->run(ctx, tuning.type_config());
+    const auto program = ctx.take_program(true);
+
+    std::cout << "tuned '" << app_name << "' (" << program.instrs.size()
+              << " trace entries, " << program.groups.size()
+              << " SIMD groups); first " << lines << " issued instructions:\n\n";
+    tp::isa::write_listing(program, std::cout, lines);
+
+    const auto report = tp::sim::simulate(program);
+    std::cout << "\n";
+    report.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "apps/app.hpp"
+
+namespace tp::apps {
+
+std::unique_ptr<App> make_jacobi();
+std::unique_ptr<App> make_knn();
+std::unique_ptr<App> make_pca(bool manual_vectorization);
+std::unique_ptr<App> make_dwt();
+std::unique_ptr<App> make_svm();
+std::unique_ptr<App> make_conv();
+
+TypeConfig App::uniform_config(FpFormat format) const {
+    TypeConfig config;
+    for (const SignalSpec& spec : signals()) {
+        config.set(spec.name, format);
+    }
+    return config;
+}
+
+std::vector<double> App::golden(unsigned input_set) {
+    prepare(input_set);
+    sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
+    return run(ctx, uniform_config(kBinary64));
+}
+
+const std::vector<std::string>& app_names() {
+    static const std::vector<std::string> names{"jacobi", "knn", "pca",
+                                                "dwt", "svm", "conv"};
+    return names;
+}
+
+std::unique_ptr<App> make_app(std::string_view name) {
+    if (name == "jacobi") return make_jacobi();
+    if (name == "knn") return make_knn();
+    if (name == "pca") return make_pca(false);
+    if (name == "pca-manual-vec") return make_pca(true);
+    if (name == "dwt") return make_dwt();
+    if (name == "svm") return make_svm();
+    if (name == "conv") return make_conv();
+    throw std::out_of_range("unknown application: " + std::string(name));
+}
+
+std::vector<std::unique_ptr<App>> make_all_apps() {
+    std::vector<std::unique_ptr<App>> apps;
+    for (const std::string& name : app_names()) {
+        apps.push_back(make_app(name));
+    }
+    return apps;
+}
+
+} // namespace tp::apps

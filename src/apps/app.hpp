@@ -1,0 +1,100 @@
+// Benchmark application interface.
+//
+// The paper evaluates six kernels representative of near-sensor computing
+// and embedded machine learning: JACOBI, KNN, PCA, DWT, SVM and CONV
+// (Section V-A). Each application here:
+//
+//   * declares its tunable variable groups ("signals" — program variables
+//     or arrays whose FP format the tuning tool controls);
+//   * generates deterministic synthetic inputs per input-set index (the
+//     tuner's statistical refinement runs over several input sets);
+//   * runs its kernel against a TpContext under an arbitrary per-signal
+//     format assignment, inserting explicit casts where differently-typed
+//     values meet (the type system forbids implicit mixing), and tagging
+//     its vectorizable sections.
+//
+// One kernel source therefore serves as: the binary32 baseline, every
+// precision-tuning trial, the final mixed-format build, and the traced
+// run measured by the virtual platform.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "types/format.hpp"
+
+namespace tp::apps {
+
+/// A tunable variable group: one program variable or array.
+struct SignalSpec {
+    std::string name;
+    std::size_t elements = 1; // memory locations it contributes (Fig. 4 weights)
+};
+
+/// Per-signal format assignment.
+class TypeConfig {
+public:
+    TypeConfig() = default;
+
+    void set(const std::string& signal, FpFormat format) {
+        formats_[signal] = format;
+    }
+
+    [[nodiscard]] FpFormat at(const std::string& signal) const {
+        const auto it = formats_.find(signal);
+        if (it == formats_.end()) {
+            throw std::out_of_range("TypeConfig: unknown signal '" + signal + "'");
+        }
+        return it->second;
+    }
+
+    [[nodiscard]] const std::map<std::string, FpFormat>& formats() const noexcept {
+        return formats_;
+    }
+
+private:
+    std::map<std::string, FpFormat> formats_;
+};
+
+class App {
+public:
+    virtual ~App() = default;
+
+    [[nodiscard]] virtual std::string_view name() const = 0;
+    [[nodiscard]] virtual std::vector<SignalSpec> signals() const = 0;
+
+    /// Regenerates the workload for the given input set (deterministic).
+    virtual void prepare(unsigned input_set) = 0;
+
+    /// Executes the kernel under `config` and returns the program output
+    /// (the sequence the quality constraint is evaluated on).
+    virtual std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) = 0;
+
+    /// Same format for every signal (e.g. the binary32 baseline).
+    [[nodiscard]] TypeConfig uniform_config(FpFormat format) const;
+
+    /// Reference output: binary64 throughout, no tracing.
+    [[nodiscard]] std::vector<double> golden(unsigned input_set);
+};
+
+/// Names of all six applications, in the paper's order.
+[[nodiscard]] const std::vector<std::string>& app_names();
+
+/// Factory; throws std::out_of_range for unknown names.
+[[nodiscard]] std::unique_ptr<App> make_app(std::string_view name);
+
+/// All six applications.
+[[nodiscard]] std::vector<std::unique_ptr<App>> make_all_apps();
+
+/// Casts `v` to `format` unless it already has it (emitting the cast
+/// instruction a mixed-format expression requires).
+[[nodiscard]] inline sim::TpValue to(const sim::TpValue& v, FpFormat format) {
+    return v.format() == format ? v : v.cast_to(format);
+}
+
+} // namespace tp::apps

@@ -1,0 +1,105 @@
+// JACOBI — Jacobi relaxation on a 2D heat grid (paper, Section V-A).
+//
+// The kernel repeatedly replaces every interior cell by the average of its
+// four neighbours. The stencil's unaligned accesses keep the paper's
+// version scalar: no section is tagged vectorizable, which is exactly why
+// JACOBI shows neither cycle nor energy gains in Figs. 5-7.
+#include <cstddef>
+
+#include "apps/app.hpp"
+#include "types/encoding.hpp"
+#include "util/random.hpp"
+
+namespace tp::apps {
+namespace {
+
+constexpr std::size_t kN = 16;  // grid side
+constexpr int kIterations = 150; // relaxation sweeps (errors accumulate)
+
+class Jacobi final : public App {
+public:
+    [[nodiscard]] std::string_view name() const override { return "jacobi"; }
+
+    [[nodiscard]] std::vector<SignalSpec> signals() const override {
+        return {
+            {"grid_in", kN * kN}, // the initial temperature field
+            {"grid", kN * kN},    // the iterated field (both buffers)
+            {"coeff", 1},         // the 1/4 averaging coefficient
+            {"tmp", 1},           // the accumulator holding the 4-neighbour sum
+        };
+    }
+
+    void prepare(unsigned input_set) override {
+        util::Xoshiro256 rng{0xA110C0DEULL + input_set};
+        init_.assign(kN * kN, 0.0);
+        // Hot top edge, cool interior with mild noise.
+        for (std::size_t j = 0; j < kN; ++j) {
+            init_[j] = 80.0 + 40.0 * rng.uniform();
+        }
+        for (std::size_t i = 1; i + 1 < kN; ++i) {
+            for (std::size_t j = 1; j + 1 < kN; ++j) {
+                init_[i * kN + j] = 25.0 * rng.uniform();
+            }
+        }
+    }
+
+    std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) override {
+        const FpFormat grid_in_f = config.at("grid_in");
+        const FpFormat grid_f = config.at("grid");
+        const FpFormat coeff_f = config.at("coeff");
+        const FpFormat tmp_f = config.at("tmp");
+
+        sim::TpArray front = ctx.make_array(grid_f, kN * kN);
+        sim::TpArray back = ctx.make_array(grid_f, kN * kN);
+        for (std::size_t i = 0; i < init_.size(); ++i) {
+            // The initial field arrives in its own (input) format before
+            // entering the working grid — diffusion smooths its
+            // quantization noise away, so it tolerates far fewer bits.
+            const double staged = quantize(init_[i], grid_in_f);
+            front.set_raw(i, staged);
+            back.set_raw(i, staged); // boundary cells are never rewritten
+        }
+
+        // The averaging constant lives in a register for the whole kernel.
+        const sim::TpValue coeff = to(ctx.constant(0.25, coeff_f), tmp_f);
+
+        sim::TpArray* src = &front;
+        sim::TpArray* dst = &back;
+        for (int it = 0; it < kIterations; ++it) {
+            for (std::size_t i = 1; i + 1 < kN; ++i) {
+                // Register reuse across the row sweep, as an optimizing
+                // compiler produces it: west(j+1) equals east(j), so only
+                // north, south and east are loaded per cell.
+                sim::TpValue west = src->load(i * kN);
+                for (std::size_t j = 1; j + 1 < kN; ++j) {
+                    ctx.loop_iteration();
+                    ctx.int_ops(2); // stencil index arithmetic
+                    const sim::TpValue north = src->load((i - 1) * kN + j);
+                    const sim::TpValue south = src->load((i + 1) * kN + j);
+                    const sim::TpValue east = src->load(i * kN + j + 1);
+                    sim::TpValue sum = north + south;
+                    sum = sum + west;
+                    sum = sum + east;
+                    const sim::TpValue avg = to(sum, tmp_f) * coeff;
+                    dst->store(i * kN + j, to(avg, grid_f));
+                    west = east;
+                }
+            }
+            std::swap(src, dst);
+        }
+
+        std::vector<double> output;
+        output.reserve(kN * kN);
+        for (std::size_t i = 0; i < kN * kN; ++i) output.push_back(src->raw(i));
+        return output;
+    }
+
+private:
+    std::vector<double> init_;
+};
+
+} // namespace
+
+std::unique_ptr<App> make_jacobi() { return std::make_unique<Jacobi>(); }
+
+} // namespace tp::apps

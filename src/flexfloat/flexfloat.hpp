@@ -1,0 +1,186 @@
+// flexfloat<E, M> — the paper's core contribution: a template class that
+// emulates an arbitrary floating-point format with E exponent bits and M
+// stored mantissa bits, bit-exactly, while computing on the native binary64
+// unit (Section III-A).
+//
+// Usage mirrors native FP types thanks to operator overloading:
+//
+//     tp::flexfloat<5, 10> a = 1.5, b = 0.25;   // IEEE binary16
+//     auto c = a * b + a;                        // rounded like hardware
+//     auto d = tp::flexfloat_cast<8, 7>(c);      // explicit cast only
+//
+// Deliberate restrictions, as in the paper:
+//   * distinct instantiations are distinct types and there is no implicit
+//     conversion between them — mixed-format arithmetic is a compile error,
+//     giving the programmer fine-grained control over intermediate formats;
+//   * conversion to native FP types is explicit (`static_cast<double>(x)`);
+//   * construction *from* native FP types is implicit, so literals work.
+#pragma once
+
+#include <ostream>
+
+#include "flexfloat/fma_exact.hpp"
+#include "flexfloat/sanitize.hpp"
+#include "flexfloat/stats.hpp"
+#include "types/encoding.hpp"
+#include "types/format.hpp"
+
+namespace tp {
+
+template <int E, int M>
+class flexfloat {
+    static_assert(FpFormat{E, M}.valid(),
+                  "flexfloat supports 1 <= E <= 11 and 1 <= M <= 52");
+    static_assert(FpFormat{E, M}.exact_via_double() || M == 52,
+                  "formats this wide cannot be emulated bit-exactly through "
+                  "binary64 arithmetic (innocuous double rounding needs "
+                  "2*(M+1)+2 <= 53); use the softfloat backend instead");
+
+public:
+    /// Format descriptor of this instantiation.
+    [[nodiscard]] static constexpr FpFormat format() noexcept {
+        return FpFormat{E, M};
+    }
+
+    constexpr flexfloat() noexcept = default;
+
+    // Implicit construction from the standard FP types, so FP literals keep
+    // their usual infix ergonomics (paper: "constructors with implicit
+    // semantics are provided for standard FP types").
+    flexfloat(double value) noexcept : value_(detail::sanitize(value, format())) {}
+    flexfloat(float value) noexcept : flexfloat(static_cast<double>(value)) {}
+    flexfloat(long double value) noexcept : flexfloat(static_cast<double>(value)) {}
+    // Integer literals would otherwise be ambiguous between the three FP
+    // constructors.
+    flexfloat(int value) noexcept : flexfloat(static_cast<double>(value)) {}
+    flexfloat(long long value) noexcept : flexfloat(static_cast<double>(value)) {}
+
+    /// Explicit cast between instantiations; counted in the statistics
+    /// registry because on the transprecision FPU it is a real instruction.
+    template <int E2, int M2>
+    explicit flexfloat(const flexfloat<E2, M2>& other) noexcept
+        : value_(detail::sanitize(static_cast<double>(other), format())) {
+        if (global_stats().enabled()) {
+            global_stats().record_cast(FpFormat{E2, M2}, format());
+        }
+    }
+
+    /// Explicit conversion to native types (interfacing with code bound to
+    /// standard formats, e.g. external library calls).
+    explicit operator double() const noexcept { return value_; }
+    explicit operator float() const noexcept { return static_cast<float>(value_); }
+
+    /// Packed (sign | exponent | mantissa) bit pattern.
+    [[nodiscard]] std::uint64_t bits() const noexcept {
+        return encode(value_, format());
+    }
+    [[nodiscard]] static flexfloat from_bits(std::uint64_t bits) noexcept {
+        flexfloat result;
+        result.value_ = decode(bits & bit_mask(format()), format());
+        return result;
+    }
+
+    friend flexfloat operator+(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Add);
+        return make(a.value_ + b.value_);
+    }
+    friend flexfloat operator-(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Sub);
+        return make(a.value_ - b.value_);
+    }
+    friend flexfloat operator*(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Mul);
+        return make(a.value_ * b.value_);
+    }
+    friend flexfloat operator/(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Div);
+        return make(a.value_ / b.value_);
+    }
+    friend flexfloat operator-(const flexfloat& a) noexcept {
+        record(FpOp::Neg);
+        return make(-a.value_);
+    }
+
+    flexfloat& operator+=(const flexfloat& rhs) noexcept { return *this = *this + rhs; }
+    flexfloat& operator-=(const flexfloat& rhs) noexcept { return *this = *this - rhs; }
+    flexfloat& operator*=(const flexfloat& rhs) noexcept { return *this = *this * rhs; }
+    flexfloat& operator/=(const flexfloat& rhs) noexcept { return *this = *this / rhs; }
+
+    // IEEE comparison semantics come from the underlying binary64 values
+    // (NaN is unordered; -0 == +0).
+    friend bool operator==(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Cmp);
+        return a.value_ == b.value_;
+    }
+    friend bool operator!=(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Cmp);
+        return a.value_ != b.value_;
+    }
+    friend bool operator<(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Cmp);
+        return a.value_ < b.value_;
+    }
+    friend bool operator<=(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Cmp);
+        return a.value_ <= b.value_;
+    }
+    friend bool operator>(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Cmp);
+        return a.value_ > b.value_;
+    }
+    friend bool operator>=(const flexfloat& a, const flexfloat& b) noexcept {
+        record(FpOp::Cmp);
+        return a.value_ >= b.value_;
+    }
+
+    friend flexfloat sqrt(const flexfloat& a) noexcept {
+        record(FpOp::Sqrt);
+        return make(__builtin_sqrt(a.value_));
+    }
+    /// Fused multiply-add with a single rounding: a * b + c.
+    /// No binary64 shortcut exists for fma (see fma_exact.hpp): the exact
+    /// integer path is used for every format.
+    friend flexfloat fma(const flexfloat& a, const flexfloat& b,
+                         const flexfloat& c) noexcept {
+        record(FpOp::Fma);
+        flexfloat result;
+        result.value_ = detail::fma_exact(a.value_, b.value_, c.value_, format());
+        return result;
+    }
+    friend flexfloat abs(const flexfloat& a) noexcept {
+        record(FpOp::Abs);
+        return make(__builtin_fabs(a.value_));
+    }
+
+private:
+    static flexfloat make(double raw) noexcept {
+        flexfloat result;
+        result.value_ = detail::sanitize(raw, format());
+        return result;
+    }
+    static void record(FpOp op) noexcept {
+        if (global_stats().enabled()) global_stats().record_op(format(), op);
+    }
+
+    double value_ = 0.0;
+};
+
+/// Explicit cast helper, symmetric with the constructor form:
+///     auto y = flexfloat_cast<8, 7>(x);
+template <int E2, int M2, int E1, int M1>
+[[nodiscard]] flexfloat<E2, M2> flexfloat_cast(const flexfloat<E1, M1>& x) noexcept {
+    return flexfloat<E2, M2>{x};
+}
+
+template <int E, int M>
+std::ostream& operator<<(std::ostream& os, const flexfloat<E, M>& x) {
+    return os << static_cast<double>(x);
+}
+
+// The four formats of the paper's extended type system (Fig. 1).
+using binary8_t = flexfloat<5, 2>;
+using binary16_t = flexfloat<5, 10>;
+using binary16alt_t = flexfloat<8, 7>;
+using binary32_t = flexfloat<8, 23>;
+
+} // namespace tp

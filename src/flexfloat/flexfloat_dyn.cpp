@@ -1,0 +1,50 @@
+#include "flexfloat/flexfloat_dyn.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "flexfloat/fma_exact.hpp"
+#include "types/encoding.hpp"
+
+namespace tp {
+
+std::uint64_t FlexFloatDyn::bits() const noexcept { return encode(value_, format_); }
+
+FlexFloatDyn FlexFloatDyn::from_bits(std::uint64_t bits, FpFormat format) noexcept {
+    FlexFloatDyn result;
+    result.value_ = decode(bits & bit_mask(format), format);
+    result.format_ = format;
+    return result;
+}
+
+FlexFloatDyn FlexFloatDyn::cast_to(FpFormat target) const noexcept {
+    if (global_stats().enabled()) global_stats().record_cast(format_, target);
+    return FlexFloatDyn{value_, target};
+}
+
+FlexFloatDyn sqrt(const FlexFloatDyn& a) noexcept {
+    FlexFloatDyn::record(a.format_, FpOp::Sqrt);
+    return FlexFloatDyn{std::sqrt(a.value_), a.format_};
+}
+
+FlexFloatDyn abs(const FlexFloatDyn& a) noexcept {
+    FlexFloatDyn::record(a.format_, FpOp::Abs);
+    return FlexFloatDyn{std::fabs(a.value_), a.format_};
+}
+
+FlexFloatDyn fma(const FlexFloatDyn& a, const FlexFloatDyn& b,
+                 const FlexFloatDyn& c) noexcept {
+    assert(a.format() == b.format() && b.format() == c.format() &&
+           "mixed-format fma requires explicit casts");
+    FlexFloatDyn::record(a.format_, FpOp::Fma);
+    FlexFloatDyn result;
+    result.value_ = detail::fma_exact(a.value_, b.value_, c.value_, a.format_);
+    result.format_ = a.format_;
+    return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const FlexFloatDyn& x) {
+    return os << x.value();
+}
+
+} // namespace tp

@@ -1,0 +1,121 @@
+// FlexFloatDyn — the runtime-format twin of flexfloat<E, M>.
+//
+// The template form fixes (e, m) at compile time, which matches the final
+// deployment step of the programming flow. The precision-tuning loop,
+// however, re-runs a program hundreds of times with *different* per-variable
+// formats; recompiling for every trial (what the paper's "FlexFloat wrapper"
+// does with template re-instantiation) would dominate tuning time. This
+// class carries its FpFormat as a value, so the tuner and the virtual
+// platform can change formats between runs without recompilation, at the
+// cost of one descriptor per value.
+//
+// Semantics are identical to flexfloat<E, M>: every operation computes on
+// binary64 and sanitizes the result to the value's format; operands of an
+// arithmetic operation must share one format (asserted), and casts are
+// explicit via cast_to().
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <iosfwd>
+
+#include "flexfloat/sanitize.hpp"
+#include "flexfloat/stats.hpp"
+#include "types/format.hpp"
+
+namespace tp {
+
+class FlexFloatDyn {
+public:
+    constexpr FlexFloatDyn() noexcept = default;
+
+    FlexFloatDyn(double value, FpFormat format) noexcept
+        : value_(detail::sanitize(value, format)), format_(format) {}
+
+    [[nodiscard]] double value() const noexcept { return value_; }
+    [[nodiscard]] FpFormat format() const noexcept { return format_; }
+    [[nodiscard]] std::uint64_t bits() const noexcept;
+    [[nodiscard]] static FlexFloatDyn from_bits(std::uint64_t bits,
+                                                FpFormat format) noexcept;
+
+    /// Explicit format conversion; recorded as a cast instruction.
+    [[nodiscard]] FlexFloatDyn cast_to(FpFormat target) const noexcept;
+
+    friend FlexFloatDyn operator+(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        return binary_op(a, b, FpOp::Add, a.value_ + b.value_);
+    }
+    friend FlexFloatDyn operator-(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        return binary_op(a, b, FpOp::Sub, a.value_ - b.value_);
+    }
+    friend FlexFloatDyn operator*(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        return binary_op(a, b, FpOp::Mul, a.value_ * b.value_);
+    }
+    friend FlexFloatDyn operator/(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        return binary_op(a, b, FpOp::Div, a.value_ / b.value_);
+    }
+    friend FlexFloatDyn operator-(const FlexFloatDyn& a) noexcept {
+        record(a.format_, FpOp::Neg);
+        return FlexFloatDyn{-a.value_, a.format_};
+    }
+
+    FlexFloatDyn& operator+=(const FlexFloatDyn& rhs) noexcept { return *this = *this + rhs; }
+    FlexFloatDyn& operator-=(const FlexFloatDyn& rhs) noexcept { return *this = *this - rhs; }
+    FlexFloatDyn& operator*=(const FlexFloatDyn& rhs) noexcept { return *this = *this * rhs; }
+    FlexFloatDyn& operator/=(const FlexFloatDyn& rhs) noexcept { return *this = *this / rhs; }
+
+    friend bool operator==(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        record_cmp(a, b);
+        return a.value_ == b.value_;
+    }
+    friend bool operator!=(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        record_cmp(a, b);
+        return a.value_ != b.value_;
+    }
+    friend bool operator<(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        record_cmp(a, b);
+        return a.value_ < b.value_;
+    }
+    friend bool operator<=(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        record_cmp(a, b);
+        return a.value_ <= b.value_;
+    }
+    friend bool operator>(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        record_cmp(a, b);
+        return a.value_ > b.value_;
+    }
+    friend bool operator>=(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        record_cmp(a, b);
+        return a.value_ >= b.value_;
+    }
+
+    friend FlexFloatDyn sqrt(const FlexFloatDyn& a) noexcept;
+    friend FlexFloatDyn abs(const FlexFloatDyn& a) noexcept;
+    /// Fused multiply-add with a single rounding: a * b + c.
+    friend FlexFloatDyn fma(const FlexFloatDyn& a, const FlexFloatDyn& b,
+                            const FlexFloatDyn& c) noexcept;
+
+private:
+    static FlexFloatDyn binary_op(const FlexFloatDyn& a, const FlexFloatDyn& b,
+                                  FpOp op, double raw) noexcept {
+        assert(a.format_ == b.format_ &&
+               "mixed-format arithmetic requires an explicit cast");
+        (void)b;
+        record(a.format_, op);
+        return FlexFloatDyn{raw, a.format_};
+    }
+    static void record(FpFormat format, FpOp op) noexcept {
+        if (global_stats().enabled()) global_stats().record_op(format, op);
+    }
+    static void record_cmp(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
+        assert(a.format_ == b.format_);
+        (void)b;
+        record(a.format_, FpOp::Cmp);
+    }
+
+    double value_ = 0.0;
+    FpFormat format_ = kBinary32;
+};
+
+std::ostream& operator<<(std::ostream& os, const FlexFloatDyn& x);
+
+} // namespace tp

@@ -1,0 +1,14 @@
+#include "flexfloat/fma_exact.hpp"
+
+#include "softfloat/softfloat.hpp"
+#include "types/encoding.hpp"
+
+namespace tp::detail {
+
+double fma_exact(double a, double b, double c, FpFormat format) noexcept {
+    const std::uint64_t result = softfloat::fma(
+        encode(a, format), encode(b, format), encode(c, format), format);
+    return decode(result, format);
+}
+
+} // namespace tp::detail

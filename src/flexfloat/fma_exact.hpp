@@ -1,0 +1,23 @@
+// Correctly rounded FMA for flexfloat.
+//
+// Unlike +, -, *, / and sqrt, the fused multiply-add CANNOT be emulated by
+// computing on binary64 and re-rounding, for any narrow target: the exact
+// product a*b (2p bits) can land exactly on a rounding halfway point of the
+// target format while the addend c — arbitrarily far below — breaks the
+// tie. Rounding to nearest at 53 bits first destroys that information, so
+// the innocuous-double-rounding envelope of the other operations does not
+// carry over (a round-to-odd intermediate would work, but manipulating the
+// FP environment per operation costs more than the integer path).
+// flexfloat therefore delegates every fma to the softfloat substrate.
+#pragma once
+
+#include "types/format.hpp"
+
+namespace tp::detail {
+
+/// Correctly rounded a * b + c in `format`, for operands already
+/// representable in `format`. Implemented on the softfloat substrate.
+[[nodiscard]] double fma_exact(double a, double b, double c,
+                               FpFormat format) noexcept;
+
+} // namespace tp::detail

@@ -1,0 +1,61 @@
+// The FlexFloat "sanitizing" step: arithmetic is performed on binary64 and
+// the result is re-rounded to the (e, m) target so that the stored value is
+// exactly what a dedicated hardware unit of that format would produce
+// (paper, Section III-A).
+//
+// The fast path below rounds the binary64 mantissa in-place with the
+// carry-propagating integer trick and falls back to the exact frexp-based
+// quantize() for specials (NaN/Inf), zeros, and values that land in the
+// target's subnormal range. Single rounding throughout: the fallback
+// re-rounds the *original* value, never the fast-path intermediate.
+//
+// Bit-exactness of the overall compute-in-double-then-round scheme relies on
+// innocuous double rounding, which holds whenever 53 >= 2 * (m + 1) + 2;
+// FpFormat::exact_via_double() exposes the check and the flexfloat<E, M>
+// template static_asserts it.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "types/encoding.hpp"
+#include "types/format.hpp"
+
+namespace tp::detail {
+
+[[nodiscard]] inline double sanitize(double value, FpFormat format) noexcept {
+    const auto bits = std::bit_cast<std::uint64_t>(value);
+    const int exp_field = static_cast<int>((bits >> 52) & 0x7ff);
+    if (exp_field == 0x7ff || exp_field == 0) {
+        // NaN, Inf, zero or binary64-subnormal input: take the exact path.
+        return quantize(value, format);
+    }
+
+    const int m = format.mant_bits;
+    std::uint64_t rounded = bits;
+    if (m < 52) {
+        const int drop = 52 - m;
+        const std::uint64_t lsb = 1ULL << drop;
+        const std::uint64_t half = lsb >> 1;
+        const std::uint64_t odd = (bits >> drop) & 1;
+        // Round-to-nearest-even: adding (half - 1 + odd) rounds up exactly
+        // when the dropped fraction exceeds half, or equals half with an odd
+        // kept mantissa. A mantissa carry propagates into the exponent field,
+        // which is the correct behaviour.
+        rounded = (bits + (half - 1 + odd)) & ~(lsb - 1);
+    }
+
+    const int e_unb = static_cast<int>((rounded >> 52) & 0x7ff) - 1023;
+    if (e_unb > format.max_exp()) {
+        // Overflow in the target format: round-to-nearest maps to infinity.
+        const std::uint64_t sign = bits & (1ULL << 63);
+        return std::bit_cast<double>(sign | (0x7ffULL << 52));
+    }
+    if (e_unb < format.min_exp()) {
+        // Subnormal in the target: re-round the original value exactly.
+        return quantize(value, format);
+    }
+    return std::bit_cast<double>(rounded);
+}
+
+} // namespace tp::detail

@@ -1,0 +1,108 @@
+// Operation and cast statistics for FlexFloat programs.
+//
+// This is step 4 of the paper's transprecision programming flow (Fig. 2):
+// once variables are mapped to FP types, the library reports how many
+// operations and casts each instantiated type performs. Program sections
+// that are vectorizable are tagged manually in the source (the paper does
+// the same, since FlexFloat does not auto-vectorize); the registry keeps a
+// distinct count for vectorial operations and casts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <utility>
+
+#include "types/format.hpp"
+
+namespace tp {
+
+/// Arithmetic/auxiliary FP operations tracked per format.
+enum class FpOp : std::uint8_t {
+    Add = 0,
+    Sub,
+    Mul,
+    Fma, // fused multiply-add (single rounding)
+    Div,
+    Sqrt,
+    Neg,
+    Abs,
+    Cmp,
+    FromInt,
+    ToInt,
+};
+inline constexpr std::size_t kFpOpCount = 11;
+
+[[nodiscard]] std::string_view name_of(FpOp op) noexcept;
+
+/// True while at least one VectorRegionGuard is alive on this thread.
+[[nodiscard]] bool in_vector_region() noexcept;
+
+/// RAII tag for a manually-identified vectorizable program section.
+/// Nesting is allowed; the section ends when the outermost guard dies.
+class VectorRegionGuard {
+public:
+    VectorRegionGuard() noexcept;
+    ~VectorRegionGuard();
+    VectorRegionGuard(const VectorRegionGuard&) = delete;
+    VectorRegionGuard& operator=(const VectorRegionGuard&) = delete;
+};
+
+/// Per-format operation counters, split scalar/vectorial.
+struct OpCounts {
+    std::array<std::uint64_t, kFpOpCount> scalar{};
+    std::array<std::uint64_t, kFpOpCount> vectorial{};
+
+    [[nodiscard]] std::uint64_t total(FpOp op) const noexcept {
+        const auto i = static_cast<std::size_t>(op);
+        return scalar[i] + vectorial[i];
+    }
+    /// Add/Sub/Mul/Div/Sqrt — the operations the paper's Fig. 5 counts.
+    [[nodiscard]] std::uint64_t arithmetic_scalar() const noexcept;
+    [[nodiscard]] std::uint64_t arithmetic_vectorial() const noexcept;
+    [[nodiscard]] std::uint64_t arithmetic_total() const noexcept {
+        return arithmetic_scalar() + arithmetic_vectorial();
+    }
+};
+
+/// Collects FP operation and cast statistics. A single process-wide
+/// instance (global_stats()) backs both the flexfloat<E,M> template and
+/// FlexFloatDyn; it is disabled by default so that un-instrumented code
+/// pays only a branch.
+class StatsRegistry {
+public:
+    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    void reset() noexcept;
+
+    void record_op(FpFormat format, FpOp op) noexcept;
+    void record_cast(FpFormat from, FpFormat to) noexcept;
+
+    [[nodiscard]] const std::map<FpFormat, OpCounts>& ops() const noexcept {
+        return ops_;
+    }
+    /// Cast counts keyed by (from, to); index 0 is scalar, 1 vectorial.
+    using CastKey = std::pair<FpFormat, FpFormat>;
+    [[nodiscard]] const std::map<CastKey, std::array<std::uint64_t, 2>>& casts()
+        const noexcept {
+        return casts_;
+    }
+
+    [[nodiscard]] OpCounts counts_for(FpFormat format) const noexcept;
+    [[nodiscard]] std::uint64_t total_arithmetic() const noexcept;
+    [[nodiscard]] std::uint64_t total_casts() const noexcept;
+
+    void print_report(std::ostream& os) const;
+
+private:
+    bool enabled_ = false;
+    std::map<FpFormat, OpCounts> ops_;
+    std::map<CastKey, std::array<std::uint64_t, 2>> casts_;
+};
+
+/// The process-wide registry used by default by all FlexFloat values.
+[[nodiscard]] StatsRegistry& global_stats() noexcept;
+
+} // namespace tp

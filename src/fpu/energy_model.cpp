@@ -1,0 +1,104 @@
+#include "fpu/energy_model.hpp"
+
+namespace tp::fpu {
+namespace {
+
+enum class WidthClass { W8, W16, W16Alt, W32 };
+
+WidthClass width_class(FpFormat f) noexcept {
+    if (f.width_bits() <= 8) return WidthClass::W8;
+    if (f.width_bits() <= 16) {
+        // Distinguish the two 16-bit formats by exponent width; anything
+        // with a binary32-style exponent behaves like binary16alt.
+        return f.exp_bits >= 8 ? WidthClass::W16Alt : WidthClass::W16;
+    }
+    return WidthClass::W32;
+}
+
+} // namespace
+
+/// Datapath-only energy of a scalar FP operation.
+static double datapath_energy(const EnergyModel& m, FpOp op, FpFormat format) noexcept {
+    const WidthClass w = width_class(format);
+    switch (op) {
+    case FpOp::Add:
+    case FpOp::Sub:
+        switch (w) {
+        case WidthClass::W8: return m.fp8_add;
+        case WidthClass::W16: return m.fp16_add;
+        case WidthClass::W16Alt: return m.fp16alt_add;
+        case WidthClass::W32: return m.fp32_add;
+        }
+        break;
+    case FpOp::Mul:
+        switch (w) {
+        case WidthClass::W8: return m.fp8_mul;
+        case WidthClass::W16: return m.fp16_mul;
+        case WidthClass::W16Alt: return m.fp16alt_mul;
+        case WidthClass::W32: return m.fp32_mul;
+        }
+        break;
+    case FpOp::Fma:
+        // Fused datapath: one multiplier plus one adder sharing the
+        // normalization stage — slightly cheaper than the two separate ops.
+        return 0.9 * (datapath_energy(m, FpOp::Add, format) +
+                      datapath_energy(m, FpOp::Mul, format));
+    case FpOp::Div:
+    case FpOp::Sqrt:
+        switch (w) {
+        case WidthClass::W8: return m.fp8_div;
+        case WidthClass::W16:
+        case WidthClass::W16Alt: return m.fp16_div;
+        case WidthClass::W32: return m.fp32_div;
+        }
+        break;
+    case FpOp::Cmp: return m.fp_cmp;
+    case FpOp::Neg:
+    case FpOp::Abs: return m.fp_sign;
+    case FpOp::FromInt:
+    case FpOp::ToInt: return m.cast_fp_int;
+    }
+    return m.fp_cmp;
+}
+
+double EnergyModel::fp_op(FpOp op, FpFormat format) const noexcept {
+    return instr_base + datapath_energy(*this, op, format);
+}
+
+double EnergyModel::fp_op_simd(FpOp op, FpFormat format, int lanes) const noexcept {
+    if (lanes <= 1) return fp_op(op, format);
+    return instr_base +
+           static_cast<double>(lanes) * datapath_energy(*this, op, format) *
+               simd_lane_factor +
+           simd_issue_overhead;
+}
+
+double EnergyModel::cast(FpFormat from, FpFormat to) const noexcept {
+    // Casts between formats sharing an exponent width are cheaper shifts
+    // ("using the same number of exponent bits ... makes conversions much
+    //  cheaper"), modelled as a 25% datapath discount.
+    const double datapath =
+        from.exp_bits == to.exp_bits ? cast_fp_fp * 0.75 : cast_fp_fp;
+    return instr_base + datapath;
+}
+
+int EnergyModel::idle_slices(FpFormat format, int lanes) noexcept {
+    // Slice inventory per Fig. 3: one 32-bit, two 16-bit, four 8-bit.
+    constexpr int kTotal = 7;
+    int active = 0;
+    if (format.width_bits() <= 8) {
+        active = lanes; // 1..4 of the 8-bit slices
+    } else if (format.width_bits() <= 16) {
+        active = lanes; // 1..2 of the 16-bit slices
+    } else {
+        active = 1; // the single 32-bit slice
+    }
+    return kTotal - active;
+}
+
+const EnergyModel& default_energy_model() noexcept {
+    static const EnergyModel model{};
+    return model;
+}
+
+} // namespace tp::fpu

@@ -1,0 +1,103 @@
+// Energy model of the transprecision platform, in picojoules per event.
+//
+// The paper evaluates a UMC 65 nm post-place-&-route netlist at 350 MHz,
+// worst-case corner, and reports *normalized* energy only. The absolute
+// numbers below are therefore a calibration, not a measurement.
+//
+// Structure: every instruction pays a shared per-instruction base cost
+// (instruction fetch, decode, register file — the bulk of the energy of a
+// small in-order core) plus the switching energy of the datapath it
+// activates. This structure reproduces the paper's two central
+// observations:
+//   * on the binary32 baseline, FP instructions account for roughly 30%
+//     of core+memory energy and FP operand movement for another ~20%;
+//   * narrowing scalar operations alone saves little (JACOBI stays at
+//     ~97%), because the instruction base dominates — the savings come
+//     from sub-word SIMD, which amortizes one instruction base over 2 or 4
+//     element operations, and from packed memory accesses.
+//
+// All figures in pJ.
+#pragma once
+
+#include "flexfloat/stats.hpp"
+#include "types/format.hpp"
+
+namespace tp::fpu {
+
+struct EnergyModel {
+    /// Shared per-instruction cost: fetch, decode, operand read/writeback.
+    double instr_base = 3.0;
+
+    // --- FPU datapath switching energy (on top of instr_base) -------------
+    double fp32_add = 1.6;
+    double fp32_mul = 2.6;
+    double fp16_add = 0.80;     // binary16 (e=5): 11-bit significand adder
+    double fp16_mul = 1.20;
+    double fp16alt_add = 0.85;  // binary16alt (e=8): wider exponent datapath
+    double fp16alt_mul = 1.05;  // but an 8-bit significand multiplier
+    double fp8_add = 0.25;      // "operations on binary8 become very cheap"
+    double fp8_mul = 0.35;
+    // Iterative div/sqrt datapath energy per operation (not per cycle).
+    double fp32_div = 21.0;
+    double fp16_div = 10.0;
+    double fp8_div = 4.0;
+    // Comparison / sign manipulation datapaths.
+    double fp_cmp = 0.2;
+    double fp_sign = 0.1;
+    // Conversion unit datapaths (all casts are single-cycle instructions).
+    double cast_fp_fp = 0.4;
+    double cast_fp_int = 0.6;
+    // SIMD: one instruction base + per-lane datapath energy; control and
+    // operand isolation add a small fixed overhead.
+    double simd_lane_factor = 0.9;
+    double simd_issue_overhead = 0.2;
+    // Operand silencing (Section IV): unused slices are forced to zero and
+    // pay only a residual per instruction.
+    double idle_slice = 0.1;
+    // Moving an operand between the integer core and the FPU input/output
+    // registers (the FPU is not integrated into the core yet; the paper
+    // accounts for these transfers explicitly).
+    double fpu_reg_move = 0.5;
+
+    // --- Core and memories --------------------------------------------------
+    // Full-instruction costs for non-FP instructions.
+    double int_op = 3.3;
+    double branch_op = 3.6;
+    // Data memory access instruction: base + TCDM array access. The
+    // scratchpad is word-organized, so a sub-word access still reads a
+    // full word from the array — only the bus amplitude scales with the
+    // accessed width. Memory energy therefore drops with *fewer accesses*
+    // (packed SIMD loads/stores), not with narrower scalar accesses,
+    // exactly the paper's argument for vectorization.
+    double mem_access_fixed = 0.6;
+    double mem_array = 2.8;
+    double mem_access_per_byte = 0.2;
+    // A pipeline stall / idle cycle (clock tree and fetch kept alive).
+    double stall_cycle = 1.5;
+
+    /// Energy of one scalar FP arithmetic instruction in `format`.
+    [[nodiscard]] double fp_op(FpOp op, FpFormat format) const noexcept;
+
+    /// Energy of an n-lane SIMD FP instruction (n = 2 for 16-bit formats,
+    /// n = 4 for binary8). `lanes` == 1 degenerates to fp_op.
+    [[nodiscard]] double fp_op_simd(FpOp op, FpFormat format, int lanes) const noexcept;
+
+    /// Energy of a format cast instruction.
+    [[nodiscard]] double cast(FpFormat from, FpFormat to) const noexcept;
+
+    /// Energy of a memory access instruction moving `bytes` bytes.
+    [[nodiscard]] double mem_access(int bytes) const noexcept {
+        return instr_base + mem_access_fixed + mem_array +
+               mem_access_per_byte * bytes;
+    }
+
+    /// Number of idle (operand-silenced) slices when executing at `format`
+    /// with `lanes` lanes. The unit has 1x32-bit, 2x16-bit and 4x8-bit
+    /// slices (7 total).
+    [[nodiscard]] static int idle_slices(FpFormat format, int lanes) noexcept;
+};
+
+/// The default calibration used across benches and tests.
+[[nodiscard]] const EnergyModel& default_energy_model() noexcept;
+
+} // namespace tp::fpu

@@ -1,0 +1,48 @@
+#include "fpu/latency_model.hpp"
+
+namespace tp::fpu {
+
+int latency_cycles(FpOp op, FpFormat format) noexcept {
+    const int width = format.width_bits();
+    switch (op) {
+    case FpOp::Add:
+    case FpOp::Sub:
+    case FpOp::Mul:
+    case FpOp::Fma:
+        // One pipeline stage for 32- and 16-bit slices, none for 8-bit.
+        return width <= 8 ? 1 : 2;
+    case FpOp::Div:
+    case FpOp::Sqrt:
+        // Iterative digit-serial datapath: cycles grow with mantissa width
+        // (cf. Tong et al., discussed in the paper's related work).
+        if (width <= 8) return 6;
+        if (width <= 16) return 10;
+        return 15;
+    case FpOp::Neg:
+    case FpOp::Abs:
+    case FpOp::Cmp:
+    case FpOp::FromInt:
+    case FpOp::ToInt:
+        return 1;
+    }
+    return 1;
+}
+
+int initiation_interval(FpOp op, FpFormat format) noexcept {
+    return is_pipelined(op, format) ? 1 : latency_cycles(op, format);
+}
+
+int cast_latency_cycles() noexcept { return 1; }
+
+bool is_pipelined(FpOp op, FpFormat format) noexcept {
+    switch (op) {
+    case FpOp::Div:
+    case FpOp::Sqrt:
+        return false;
+    default:
+        (void)format;
+        return true;
+    }
+}
+
+} // namespace tp::fpu

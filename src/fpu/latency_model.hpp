@@ -1,0 +1,33 @@
+// Timing model of the transprecision FPU (paper, Section IV).
+//
+// "To meet the timing requirements of the container core, arithmetic
+//  operations in binary32 as well as both 16-bit formats are pipelined with
+//  one stage, hence featuring a bandwidth of one operation per cycle and a
+//  latency of two clock cycles. Arithmetic operations in binary8 as well as
+//  all conversion operations have a one cycle latency."
+//
+// Division and square root are not provided by the paper's unit; they are
+// modelled as iterative (digit-serial) multi-cycle operations in the style
+// of the RI5CY private FPU so that kernels containing divisions remain
+// simulatable. This extension is documented in DESIGN.md.
+#pragma once
+
+#include "flexfloat/stats.hpp"
+#include "types/format.hpp"
+
+namespace tp::fpu {
+
+/// Issue-to-result latency in cycles of an FP operation at the given format.
+[[nodiscard]] int latency_cycles(FpOp op, FpFormat format) noexcept;
+
+/// Minimum cycles between two issues of the same operation kind
+/// (1 for pipelined ops, = latency for blocking div/sqrt).
+[[nodiscard]] int initiation_interval(FpOp op, FpFormat format) noexcept;
+
+/// Latency of a format conversion (any FP<->FP or FP<->int cast): 1 cycle.
+[[nodiscard]] int cast_latency_cycles() noexcept;
+
+/// True if the operation is executed by a pipelined datapath.
+[[nodiscard]] bool is_pipelined(FpOp op, FpFormat format) noexcept;
+
+} // namespace tp::fpu

@@ -1,0 +1,148 @@
+#include "fpu/transprecision_fpu.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tp::fpu {
+
+bool TransprecisionFpu::supports(FpOp op, FpFormat format) noexcept {
+    FormatKind kind;
+    if (!kind_of(format, kind)) return false; // only the four named formats
+    switch (op) {
+    case FpOp::Add:
+    case FpOp::Sub:
+    case FpOp::Mul:
+    case FpOp::Cmp:
+    case FpOp::Neg:
+    case FpOp::Abs:
+    case FpOp::FromInt:
+    case FpOp::ToInt:
+        return true;
+    case FpOp::Fma:
+    case FpOp::Div:
+    case FpOp::Sqrt:
+        return false; // model extensions, not in the paper's unit
+    }
+    return false;
+}
+
+int TransprecisionFpu::max_lanes(FpFormat format) noexcept {
+    const int width = format.width_bits();
+    if (width <= 8) return 4;
+    if (width <= 16) return 2;
+    return 1;
+}
+
+void TransprecisionFpu::account(FpOp op, FpFormat format, int lanes) {
+    const double active = lanes == 1 ? model_.fp_op(op, format)
+                                     : model_.fp_op_simd(op, format, lanes);
+    const double silenced =
+        model_.idle_slice * EnergyModel::idle_slices(format, lanes);
+    counters_.energy_pj += active + silenced;
+    counters_.busy_cycles +=
+        static_cast<std::uint64_t>(initiation_interval(op, format));
+    if (lanes == 1) {
+        ++counters_.scalar_ops;
+    } else {
+        ++counters_.simd_instrs;
+        counters_.simd_lanes += static_cast<std::uint64_t>(lanes);
+    }
+}
+
+FlexFloatDyn TransprecisionFpu::execute(FpOp op, const FlexFloatDyn& a,
+                                        const FlexFloatDyn& b) {
+    if (a.format() != b.format()) {
+        throw std::invalid_argument(
+            "TransprecisionFpu: operand formats must match; insert a convert");
+    }
+    account(op, a.format(), 1);
+    switch (op) {
+    case FpOp::Add: return a + b;
+    case FpOp::Sub: return a - b;
+    case FpOp::Mul: return a * b;
+    case FpOp::Div: return a / b;
+    default: throw std::invalid_argument("TransprecisionFpu: not a binary op");
+    }
+}
+
+FlexFloatDyn TransprecisionFpu::execute_fma(const FlexFloatDyn& a,
+                                            const FlexFloatDyn& b,
+                                            const FlexFloatDyn& c) {
+    if (a.format() != b.format() || b.format() != c.format()) {
+        throw std::invalid_argument(
+            "TransprecisionFpu: fma operand formats must match");
+    }
+    account(FpOp::Fma, a.format(), 1);
+    return fma(a, b, c);
+}
+
+FlexFloatDyn TransprecisionFpu::execute_unary(FpOp op, const FlexFloatDyn& a) {
+    account(op, a.format(), 1);
+    switch (op) {
+    case FpOp::Neg: return -a;
+    case FpOp::Abs: return abs(a);
+    case FpOp::Sqrt: return sqrt(a);
+    default: throw std::invalid_argument("TransprecisionFpu: not a unary op");
+    }
+}
+
+std::vector<FlexFloatDyn> TransprecisionFpu::execute_simd(
+    FpOp op, std::span<const FlexFloatDyn> a, std::span<const FlexFloatDyn> b) {
+    if (a.empty() || a.size() != b.size()) {
+        throw std::invalid_argument("TransprecisionFpu: lane count mismatch");
+    }
+    const FpFormat format = a[0].format();
+    const int lanes = static_cast<int>(a.size());
+    if (lanes > max_lanes(format)) {
+        throw std::invalid_argument(
+            "TransprecisionFpu: more lanes than slices of this width");
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].format() != format || b[i].format() != format) {
+            throw std::invalid_argument(
+                "TransprecisionFpu: SIMD lanes must share one format");
+        }
+    }
+    account(op, format, lanes);
+    std::vector<FlexFloatDyn> result;
+    result.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        switch (op) {
+        case FpOp::Add: result.push_back(a[i] + b[i]); break;
+        case FpOp::Sub: result.push_back(a[i] - b[i]); break;
+        case FpOp::Mul: result.push_back(a[i] * b[i]); break;
+        default:
+            throw std::invalid_argument(
+                "TransprecisionFpu: SIMD supports add/sub/mul only");
+        }
+    }
+    return result;
+}
+
+FlexFloatDyn TransprecisionFpu::convert(const FlexFloatDyn& a, FpFormat to) {
+    counters_.energy_pj += model_.cast(a.format(), to) +
+                           model_.idle_slice * EnergyModel::idle_slices(to, 1);
+    counters_.busy_cycles += static_cast<std::uint64_t>(cast_latency_cycles());
+    ++counters_.casts;
+    return a.cast_to(to);
+}
+
+FlexFloatDyn TransprecisionFpu::from_int(std::int64_t value, FpFormat format) {
+    counters_.energy_pj += model_.fp_op(FpOp::FromInt, format);
+    counters_.busy_cycles += static_cast<std::uint64_t>(cast_latency_cycles());
+    ++counters_.casts;
+    return FlexFloatDyn{static_cast<double>(value), format};
+}
+
+std::int64_t TransprecisionFpu::to_int(const FlexFloatDyn& a) {
+    counters_.energy_pj += model_.fp_op(FpOp::ToInt, a.format());
+    counters_.busy_cycles += static_cast<std::uint64_t>(cast_latency_cycles());
+    ++counters_.casts;
+    // Round-to-nearest-even, saturating — matches softfloat::to_int.
+    const double v = a.value();
+    if (v != v) return 0;
+    const double r = __builtin_nearbyint(v);
+    return static_cast<std::int64_t>(r);
+}
+
+} // namespace tp::fpu

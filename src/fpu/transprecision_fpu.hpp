@@ -1,0 +1,96 @@
+// Functional + accounting model of the transprecision FPU (paper, Fig. 3).
+//
+// The unit is built from three kinds of fixed-width slices — one 32-bit,
+// two 16-bit and four 8-bit — each hosting the arithmetic operations of the
+// formats matching its width plus the conversion datapaths. Replicated
+// narrow slices provide sub-word SIMD: two 16-bit or four 8-bit operations
+// per instruction. Unused slices are operand-silenced (inputs forced to
+// zero), leaving only a small residual energy per idle slice.
+//
+// This class computes *values* through FlexFloat (bit-exact for every
+// supported format) while accumulating the energy and busy-cycle cost of
+// each instruction from the latency and energy models. It backs the FPU
+// unit tests and the per-op energy bench; the virtual platform uses the
+// same models directly on its instruction trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flexfloat/flexfloat_dyn.hpp"
+#include "fpu/energy_model.hpp"
+#include "fpu/latency_model.hpp"
+#include "types/format.hpp"
+
+namespace tp::fpu {
+
+/// Slice inventory of the unit.
+struct SliceInfo {
+    int width_bits;
+    int count;
+};
+inline constexpr SliceInfo kSlices[] = {{32, 1}, {16, 2}, {8, 4}};
+
+class TransprecisionFpu {
+public:
+    struct Counters {
+        std::uint64_t scalar_ops = 0;
+        std::uint64_t simd_instrs = 0;
+        std::uint64_t simd_lanes = 0;
+        std::uint64_t casts = 0;
+        std::uint64_t busy_cycles = 0;
+        double energy_pj = 0.0;
+    };
+
+    explicit TransprecisionFpu(const EnergyModel& model = default_energy_model())
+        : model_(model) {}
+
+    /// Whether the paper's unit implements `op` at `format`.
+    /// Addition, subtraction and multiplication exist on every slice;
+    /// division and square root are an extension of this model (see
+    /// latency_model.hpp) and report false here.
+    [[nodiscard]] static bool supports(FpOp op, FpFormat format) noexcept;
+
+    /// SIMD lanes available at `format` width: 4 for 8-bit, 2 for 16-bit,
+    /// 1 for 32-bit.
+    [[nodiscard]] static int max_lanes(FpFormat format) noexcept;
+
+    /// Scalar two-operand instruction. Operand formats must match.
+    FlexFloatDyn execute(FpOp op, const FlexFloatDyn& a, const FlexFloatDyn& b);
+
+    /// Scalar one-operand instruction (neg/abs/sqrt).
+    FlexFloatDyn execute_unary(FpOp op, const FlexFloatDyn& a);
+
+    /// Fused multiply-add: a * b + c with a single rounding. A model
+    /// extension (the paper's unit implements add/sub/mul; its successor
+    /// adds FMA).
+    FlexFloatDyn execute_fma(const FlexFloatDyn& a, const FlexFloatDyn& b,
+                             const FlexFloatDyn& c);
+
+    /// Sub-word SIMD instruction: element i of the result is a[i] op b[i].
+    /// The span length must not exceed max_lanes(format).
+    std::vector<FlexFloatDyn> execute_simd(FpOp op,
+                                           std::span<const FlexFloatDyn> a,
+                                           std::span<const FlexFloatDyn> b);
+
+    /// FP -> FP conversion instruction.
+    FlexFloatDyn convert(const FlexFloatDyn& a, FpFormat to);
+
+    /// Integer <-> FP conversion instructions.
+    FlexFloatDyn from_int(std::int64_t value, FpFormat format);
+    std::int64_t to_int(const FlexFloatDyn& a);
+
+    [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+    void reset_counters() noexcept { counters_ = Counters{}; }
+
+    [[nodiscard]] const EnergyModel& energy_model() const noexcept { return model_; }
+
+private:
+    void account(FpOp op, FpFormat format, int lanes);
+
+    EnergyModel model_;
+    Counters counters_;
+};
+
+} // namespace tp::fpu

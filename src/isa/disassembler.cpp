@@ -1,0 +1,142 @@
+#include "isa/disassembler.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tp::isa {
+namespace {
+
+const char* fmt_suffix(FpFormat format) noexcept {
+    switch (fmt_code_of(format)) {
+    case FmtCode::S: return "s";
+    case FmtCode::H: return "h";
+    case FmtCode::AH: return "ah";
+    case FmtCode::B: return "b";
+    }
+    return "?";
+}
+
+std::string freg(std::uint8_t r) { return "f" + std::to_string(r); }
+std::string xreg(std::uint8_t r) { return "x" + std::to_string(r); }
+
+const char* mem_mnemonic(bool load, int bytes) noexcept {
+    if (load) {
+        switch (bytes) {
+        case 1: return "flb";
+        case 2: return "flh";
+        default: return "flw";
+        }
+    }
+    switch (bytes) {
+    case 1: return "fsb";
+    case 2: return "fsh";
+    default: return "fsw";
+    }
+}
+
+const char* arith_mnemonic(FpOp op) noexcept {
+    switch (op) {
+    case FpOp::Add: return "fadd";
+    case FpOp::Sub: return "fsub";
+    case FpOp::Mul: return "fmul";
+    case FpOp::Fma: return "fmadd";
+    case FpOp::Div: return "fdiv";
+    case FpOp::Sqrt: return "fsqrt";
+    case FpOp::Neg: return "fneg";
+    case FpOp::Abs: return "fabs";
+    case FpOp::Cmp: return "flt";
+    default: return "f?";
+    }
+}
+
+} // namespace
+
+std::string disassemble(std::uint32_t word) {
+    const auto decoded = decode_instr(word);
+    if (!decoded) {
+        std::ostringstream os;
+        os << ".word 0x" << std::hex << std::setw(8) << std::setfill('0') << word;
+        return os.str();
+    }
+    const Decoded& d = *decoded;
+    std::ostringstream os;
+    switch (d.kind) {
+    case sim::InstrKind::IntAlu:
+        os << "addi " << xreg(d.rd) << ", " << xreg(d.rs1) << ", 0";
+        break;
+    case sim::InstrKind::Branch:
+        os << "bne " << xreg(d.rs1) << ", " << xreg(d.rs2) << ", .";
+        break;
+    case sim::InstrKind::Load:
+        os << mem_mnemonic(true, d.bytes) << ' ' << freg(d.rd) << ", 0("
+           << xreg(d.rs1) << ')';
+        break;
+    case sim::InstrKind::Store:
+        os << mem_mnemonic(false, d.bytes) << ' ' << freg(d.rs2) << ", 0("
+           << xreg(d.rs1) << ')';
+        break;
+    case sim::InstrKind::FpArith:
+        if (d.op == FpOp::Fma) {
+            os << "fmadd." << fmt_suffix(d.fmt) << ' ' << freg(d.rd) << ", "
+               << freg(d.rs1) << ", " << freg(d.rs2) << ", " << freg(d.rs3);
+            break;
+        }
+        os << (d.lanes > 1 ? "v" : "") << arith_mnemonic(d.op) << '.'
+           << fmt_suffix(d.fmt) << ' ';
+        if (d.op == FpOp::Neg || d.op == FpOp::Abs || d.op == FpOp::Sqrt) {
+            os << freg(d.rd) << ", " << freg(d.rs1);
+        } else if (d.op == FpOp::Cmp) {
+            os << xreg(d.rd) << ", " << freg(d.rs1) << ", " << freg(d.rs2);
+        } else {
+            os << freg(d.rd) << ", " << freg(d.rs1) << ", " << freg(d.rs2);
+        }
+        break;
+    case sim::InstrKind::FpCast:
+        if (d.op == FpOp::FromInt) {
+            os << "fcvt." << fmt_suffix(d.fmt2) << ".w " << freg(d.rd) << ", "
+               << xreg(d.rs1);
+        } else if (d.op == FpOp::ToInt) {
+            os << "fcvt.w." << fmt_suffix(d.fmt2) << ' ' << xreg(d.rd) << ", "
+               << freg(d.rs1);
+        } else {
+            os << "fcvt." << fmt_suffix(d.fmt2) << '.' << fmt_suffix(d.fmt) << ' '
+               << freg(d.rd) << ", " << freg(d.rs1);
+        }
+        break;
+    }
+    return os.str();
+}
+
+std::string disassemble(const sim::Instr& instr, int lanes) {
+    return disassemble(encode_instr(instr, lanes));
+}
+
+void write_listing(const sim::TraceProgram& program, std::ostream& os,
+                   std::size_t max_lines) {
+    std::size_t lines = 0;
+    for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+        if (max_lines != 0 && lines >= max_lines) {
+            os << "  ... (" << program.instrs.size() - i
+               << " more trace entries)\n";
+            return;
+        }
+        const sim::Instr& instr = program.instrs[i];
+        if (instr.simd_group != 0) {
+            const sim::SimdGroup& group = program.groups[instr.simd_group - 1];
+            if (group.last_index != i) continue; // one line per group
+            const std::uint32_t word = encode_instr(instr, group.lanes);
+            os << "  " << std::hex << std::setw(8) << std::setfill('0') << word
+               << std::dec << "  " << disassemble(word) << "    # group "
+               << instr.simd_group << ", " << group.lanes << " lanes\n";
+            ++lines;
+            continue;
+        }
+        const std::uint32_t word = encode_instr(instr, 1);
+        os << "  " << std::hex << std::setw(8) << std::setfill('0') << word
+           << std::dec << "  " << disassemble(word) << '\n';
+        ++lines;
+    }
+}
+
+} // namespace tp::isa

@@ -1,0 +1,34 @@
+// Textual disassembly of the transprecision ISA and full program listings.
+//
+// Mnemonics follow the PULP smallfloat convention: the format suffix is
+// .s (binary32), .h (binary16), .ah (binary16alt) or .b (binary8), and
+// vectorial instructions carry a "vf" prefix, e.g.
+//
+//   fadd.h   f3, f1, f2        # scalar binary16 addition
+//   vfmul.b  f4, f2, f3        # 4-lane binary8 multiply
+//   fcvt.ah.s f5, f1           # binary32 -> binary16alt conversion
+//   fmadd.h  f6, f1, f2, f3    # fused multiply-add
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/encoding.hpp"
+#include "sim/trace.hpp"
+
+namespace tp::isa {
+
+/// Disassembles one encoded word; unknown words render as ".word 0x...".
+[[nodiscard]] std::string disassemble(std::uint32_t word);
+
+/// Convenience: encode + disassemble a trace instruction.
+[[nodiscard]] std::string disassemble(const sim::Instr& instr, int lanes = 1);
+
+/// Writes the whole (possibly vectorized) program as an assembly listing:
+/// one line per issued instruction — SIMD groups appear once, at their
+/// issue point, annotated with their lane count. `max_lines` of 0 prints
+/// everything.
+void write_listing(const sim::TraceProgram& program, std::ostream& os,
+                   std::size_t max_lines = 0);
+
+} // namespace tp::isa

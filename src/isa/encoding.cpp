@@ -1,0 +1,231 @@
+#include "isa/encoding.hpp"
+
+#include <cassert>
+
+namespace tp::isa {
+namespace {
+
+constexpr std::uint32_t kOpcodeMask = 0x7f;
+
+// funct5 selectors in the OP-FP space (RISC-V F layout).
+constexpr std::uint32_t kFunct5Add = 0b00000;
+constexpr std::uint32_t kFunct5Sub = 0b00001;
+constexpr std::uint32_t kFunct5Mul = 0b00010;
+constexpr std::uint32_t kFunct5Div = 0b00011;
+constexpr std::uint32_t kFunct5Sgnj = 0b00100;
+constexpr std::uint32_t kFunct5Cvt = 0b01000;  // FP <-> FP
+constexpr std::uint32_t kFunct5Sqrt = 0b01011;
+constexpr std::uint32_t kFunct5Cmp = 0b10100;
+constexpr std::uint32_t kFunct5CvtToInt = 0b11000;
+constexpr std::uint32_t kFunct5CvtFromInt = 0b11010;
+
+std::uint8_t reg_of(std::int32_t id) noexcept {
+    return id < 0 ? 0 : static_cast<std::uint8_t>(id % 32);
+}
+
+std::uint32_t r_type(MajorOpcode opcode, std::uint32_t funct7, std::uint8_t rs2,
+                     std::uint8_t rs1, std::uint32_t funct3, std::uint8_t rd) {
+    return (funct7 << 25) | (std::uint32_t{rs2} << 20) |
+           (std::uint32_t{rs1} << 15) | (funct3 << 12) | (std::uint32_t{rd} << 7) |
+           static_cast<std::uint32_t>(opcode);
+}
+
+int log2_bytes(int bytes) noexcept {
+    switch (bytes) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    default: return 3;
+    }
+}
+
+} // namespace
+
+FmtCode fmt_code_of(FpFormat format) noexcept {
+    if (format == kBinary16) return FmtCode::H;
+    if (format == kBinary16Alt) return FmtCode::AH;
+    if (format == kBinary8) return FmtCode::B;
+    return FmtCode::S; // binary32 and any non-named format map to S
+}
+
+FpFormat format_of(FmtCode code) noexcept {
+    switch (code) {
+    case FmtCode::S: return kBinary32;
+    case FmtCode::H: return kBinary16;
+    case FmtCode::AH: return kBinary16Alt;
+    case FmtCode::B: return kBinary8;
+    }
+    return kBinary32;
+}
+
+std::uint32_t encode_instr(const sim::Instr& instr, int lanes) {
+    const std::uint8_t rd = reg_of(instr.dst);
+    const std::uint8_t rs1 = reg_of(instr.src1);
+    const std::uint8_t rs2 = reg_of(instr.src2);
+    const auto fmt = static_cast<std::uint32_t>(fmt_code_of(instr.fmt));
+
+    switch (instr.kind) {
+    case sim::InstrKind::IntAlu:
+        // addi x_rd, x_rs1, 0
+        return r_type(MajorOpcode::OpImm, 0, 0, rs1, 0b000, rd);
+    case sim::InstrKind::Branch:
+        // bne x0, x0, 0 (target is immaterial at this abstraction level)
+        return r_type(MajorOpcode::Branch, 0, 0, 0, 0b001, 0);
+    case sim::InstrKind::Load: {
+        const int total = instr.bytes * lanes;
+        return r_type(MajorOpcode::Load, 0, 0,
+                      static_cast<std::uint8_t>(5 + instr.stream % 24),
+                      static_cast<std::uint32_t>(log2_bytes(total)), rd);
+    }
+    case sim::InstrKind::Store: {
+        const int total = instr.bytes * lanes;
+        return r_type(MajorOpcode::Store, 0, rs1,
+                      static_cast<std::uint8_t>(5 + instr.stream % 24),
+                      static_cast<std::uint32_t>(log2_bytes(total)), 0);
+    }
+    case sim::InstrKind::FpArith: {
+        if (instr.op == FpOp::Fma) {
+            // R4-type: rs3 in [31:27], fmt in funct2 [26:25].
+            const std::uint8_t rs3 = reg_of(instr.src3);
+            return (std::uint32_t{rs3} << 27) | (fmt << 25) |
+                   (std::uint32_t{rs2} << 20) | (std::uint32_t{rs1} << 15) |
+                   (0b000u << 12) | (std::uint32_t{rd} << 7) |
+                   static_cast<std::uint32_t>(MajorOpcode::Madd);
+        }
+        if (lanes > 1) {
+            // Vectorial smallfloat op: CUSTOM-0, lanes in funct7[4:3],
+            // fmt in funct7[1:0], op selector in funct3.
+            const std::uint32_t log2lanes = lanes == 4 ? 2 : 1;
+            std::uint32_t sel = 0;
+            switch (instr.op) {
+            case FpOp::Add: sel = 0b000; break;
+            case FpOp::Sub: sel = 0b001; break;
+            case FpOp::Mul: sel = 0b010; break;
+            default: assert(false && "only add/sub/mul vectorize"); break;
+            }
+            return r_type(MajorOpcode::Custom0, (log2lanes << 3) | fmt, rs2, rs1,
+                          sel, rd);
+        }
+        std::uint32_t funct5 = kFunct5Add;
+        std::uint32_t funct3 = 0b000;
+        switch (instr.op) {
+        case FpOp::Add: funct5 = kFunct5Add; break;
+        case FpOp::Sub: funct5 = kFunct5Sub; break;
+        case FpOp::Mul: funct5 = kFunct5Mul; break;
+        case FpOp::Div: funct5 = kFunct5Div; break;
+        case FpOp::Sqrt: funct5 = kFunct5Sqrt; break;
+        case FpOp::Neg:
+            funct5 = kFunct5Sgnj;
+            funct3 = 0b001; // fsgnjn rd, rs, rs
+            break;
+        case FpOp::Abs:
+            funct5 = kFunct5Sgnj;
+            funct3 = 0b010; // fsgnjx rd, rs, rs
+            break;
+        case FpOp::Cmp:
+            funct5 = kFunct5Cmp;
+            funct3 = 0b001; // flt
+            break;
+        default: assert(false && "conversion ops encode as FpCast"); break;
+        }
+        return r_type(MajorOpcode::OpFp, (funct5 << 2) | fmt, rs2, rs1, funct3, rd);
+    }
+    case sim::InstrKind::FpCast: {
+        if (instr.op == FpOp::FromInt) {
+            return r_type(MajorOpcode::OpFp, (kFunct5CvtFromInt << 2) | fmt, 0,
+                          rs1, 0b000, rd);
+        }
+        if (instr.op == FpOp::ToInt) {
+            return r_type(MajorOpcode::OpFp, (kFunct5CvtToInt << 2) | fmt, 0, rs1,
+                          0b000, rd);
+        }
+        // FP -> FP: destination fmt in funct7, source fmt in rs2.
+        const auto dst_fmt = static_cast<std::uint32_t>(fmt_code_of(instr.fmt2));
+        const auto src_fmt = static_cast<std::uint8_t>(fmt_code_of(instr.fmt));
+        return r_type(MajorOpcode::OpFp, (kFunct5Cvt << 2) | dst_fmt, src_fmt,
+                      rs1, 0b000, rd);
+    }
+    }
+    return 0;
+}
+
+std::optional<Decoded> decode_instr(std::uint32_t word) {
+    Decoded d;
+    const auto opcode = static_cast<MajorOpcode>(word & kOpcodeMask);
+    d.rd = static_cast<std::uint8_t>((word >> 7) & 0x1f);
+    const std::uint32_t funct3 = (word >> 12) & 0x7;
+    d.rs1 = static_cast<std::uint8_t>((word >> 15) & 0x1f);
+    d.rs2 = static_cast<std::uint8_t>((word >> 20) & 0x1f);
+    const std::uint32_t funct7 = (word >> 25) & 0x7f;
+
+    switch (opcode) {
+    case MajorOpcode::OpImm:
+        d.kind = sim::InstrKind::IntAlu;
+        return d;
+    case MajorOpcode::Branch:
+        d.kind = sim::InstrKind::Branch;
+        return d;
+    case MajorOpcode::Load:
+        d.kind = sim::InstrKind::Load;
+        d.bytes = 1 << funct3;
+        return d;
+    case MajorOpcode::Store:
+        d.kind = sim::InstrKind::Store;
+        d.bytes = 1 << funct3;
+        return d;
+    case MajorOpcode::Madd:
+        d.kind = sim::InstrKind::FpArith;
+        d.op = FpOp::Fma;
+        d.fmt = format_of(static_cast<FmtCode>(funct7 & 0x3));
+        d.rs3 = static_cast<std::uint8_t>((word >> 27) & 0x1f);
+        return d;
+    case MajorOpcode::Custom0: {
+        d.kind = sim::InstrKind::FpArith;
+        d.fmt = format_of(static_cast<FmtCode>(funct7 & 0x3));
+        d.lanes = 1 << ((funct7 >> 3) & 0x3);
+        switch (funct3) {
+        case 0b000: d.op = FpOp::Add; break;
+        case 0b001: d.op = FpOp::Sub; break;
+        case 0b010: d.op = FpOp::Mul; break;
+        default: return std::nullopt;
+        }
+        return d;
+    }
+    case MajorOpcode::OpFp: {
+        d.fmt = format_of(static_cast<FmtCode>(funct7 & 0x3));
+        const std::uint32_t funct5 = funct7 >> 2;
+        d.kind = sim::InstrKind::FpArith;
+        switch (funct5) {
+        case kFunct5Add: d.op = FpOp::Add; return d;
+        case kFunct5Sub: d.op = FpOp::Sub; return d;
+        case kFunct5Mul: d.op = FpOp::Mul; return d;
+        case kFunct5Div: d.op = FpOp::Div; return d;
+        case kFunct5Sqrt: d.op = FpOp::Sqrt; return d;
+        case kFunct5Sgnj:
+            d.op = funct3 == 0b001 ? FpOp::Neg : FpOp::Abs;
+            return d;
+        case kFunct5Cmp: d.op = FpOp::Cmp; return d;
+        case kFunct5Cvt:
+            d.kind = sim::InstrKind::FpCast;
+            d.op = FpOp::Add; // generic FP->FP conversion marker
+            d.fmt2 = d.fmt;   // funct7 carries the destination fmt
+            d.fmt = format_of(static_cast<FmtCode>(d.rs2 & 0x3));
+            return d;
+        case kFunct5CvtFromInt:
+            d.kind = sim::InstrKind::FpCast;
+            d.op = FpOp::FromInt;
+            d.fmt2 = d.fmt;
+            return d;
+        case kFunct5CvtToInt:
+            d.kind = sim::InstrKind::FpCast;
+            d.op = FpOp::ToInt;
+            d.fmt2 = d.fmt;
+            return d;
+        default: return std::nullopt;
+        }
+    }
+    }
+    return std::nullopt;
+}
+
+} // namespace tp::isa

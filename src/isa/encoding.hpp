@@ -1,0 +1,77 @@
+// Machine-level encoding of the transprecision ISA extension.
+//
+// The platform the paper targets exposes the transprecision FPU through
+// RISC-V instruction-set extensions (the PULP "smallfloat" family: Xf16,
+// Xf16alt, Xf8 plus their vectorial Xfvec forms). This module encodes the
+// simulator's typed instructions into 32-bit RISC-V-style words and back:
+//
+//   * scalar FP arithmetic uses the standard OP-FP major opcode with the
+//     fmt field extended to the four transprecision formats
+//     (00=S/binary32, 01=H/binary16, 10=AH/binary16alt, 11=B/binary8);
+//   * fused multiply-add uses the MADD R4-type encoding;
+//   * sub-word vectorial operations live in the CUSTOM-0 space with the
+//     lane count in funct7;
+//   * loads/stores/integer/branch instructions use their standard major
+//     opcodes.
+//
+// Register fields are derived from the trace's SSA value ids (modulo the
+// architectural register count) — this is a faithful *encoding* layer and
+// a disassembly/visualization aid, not a register allocator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/trace.hpp"
+#include "types/format.hpp"
+
+namespace tp::isa {
+
+/// Major opcodes (RISC-V base + the custom space used by the extension).
+enum class MajorOpcode : std::uint8_t {
+    Load = 0b0000011,
+    Store = 0b0100011,
+    OpImm = 0b0010011,
+    Branch = 0b1100011,
+    OpFp = 0b1010011,
+    Madd = 0b1000011,
+    Custom0 = 0b0001011, // vectorial smallfloat operations
+};
+
+/// Two-bit fmt field of the extended OP-FP space.
+enum class FmtCode : std::uint8_t {
+    S = 0b00,  // binary32
+    H = 0b01,  // binary16
+    AH = 0b10, // binary16alt
+    B = 0b11,  // binary8
+};
+
+/// fmt field <-> format descriptor.
+[[nodiscard]] FmtCode fmt_code_of(FpFormat format) noexcept;
+[[nodiscard]] FpFormat format_of(FmtCode code) noexcept;
+
+/// Decoded view of an encoded instruction word.
+struct Decoded {
+    sim::InstrKind kind = sim::InstrKind::IntAlu;
+    FpOp op = FpOp::Add;       // FpArith / FpCast detail
+    FpFormat fmt{8, 23};       // operand format
+    FpFormat fmt2{8, 23};      // cast target format
+    int lanes = 1;             // 1 scalar; 2/4 vectorial
+    int bytes = 0;             // access width for Load/Store
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint8_t rs3 = 0;
+
+    friend bool operator==(const Decoded&, const Decoded&) = default;
+};
+
+/// Encodes one trace instruction (with its SIMD group's lane count, 1 for
+/// scalar) into a 32-bit word. Every sim::Instr kind is encodable.
+[[nodiscard]] std::uint32_t encode_instr(const sim::Instr& instr, int lanes = 1);
+
+/// Decodes a word produced by encode_instr. Returns std::nullopt for words
+/// outside the supported encoding space.
+[[nodiscard]] std::optional<Decoded> decode_instr(std::uint32_t word);
+
+} // namespace tp::isa

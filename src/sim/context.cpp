@@ -1,0 +1,214 @@
+#include "sim/context.hpp"
+
+#include "sim/vectorize.hpp"
+
+namespace tp::sim {
+
+// --- TpValue ---------------------------------------------------------------
+
+TpValue TpValue::binary(FpOp op, const TpValue& a, const TpValue& b,
+                        FlexFloatDyn result) {
+    TpContext* ctx = a.ctx_ != nullptr ? a.ctx_ : b.ctx_;
+    assert(ctx != nullptr && "TpValue arithmetic requires a live context");
+    assert((a.ctx_ == nullptr || b.ctx_ == nullptr || a.ctx_ == b.ctx_) &&
+           "operands belong to different contexts");
+    const std::int32_t id = ctx->emit_fp(op, result.format(), a.id_, b.id_);
+    return TpValue{ctx, result, id};
+}
+
+TpValue TpValue::unary(FpOp op, const TpValue& a, FlexFloatDyn result) {
+    assert(a.ctx_ != nullptr);
+    const std::int32_t id = a.ctx_->emit_fp(op, result.format(), a.id_, -1);
+    return TpValue{a.ctx_, result, id};
+}
+
+bool TpValue::compare(const TpValue& a, const TpValue& b, bool result) {
+    TpContext* ctx = a.ctx_ != nullptr ? a.ctx_ : b.ctx_;
+    assert(ctx != nullptr);
+    ctx->emit_cmp(a.format(), a.id_, b.id_);
+    return result;
+}
+
+TpValue operator+(const TpValue& a, const TpValue& b) {
+    return TpValue::binary(FpOp::Add, a, b, a.value_ + b.value_);
+}
+TpValue operator-(const TpValue& a, const TpValue& b) {
+    return TpValue::binary(FpOp::Sub, a, b, a.value_ - b.value_);
+}
+TpValue operator*(const TpValue& a, const TpValue& b) {
+    return TpValue::binary(FpOp::Mul, a, b, a.value_ * b.value_);
+}
+TpValue operator/(const TpValue& a, const TpValue& b) {
+    return TpValue::binary(FpOp::Div, a, b, a.value_ / b.value_);
+}
+TpValue operator-(const TpValue& a) {
+    return TpValue::unary(FpOp::Neg, a, -a.value_);
+}
+TpValue sqrt(const TpValue& a) {
+    return TpValue::unary(FpOp::Sqrt, a, sqrt(a.value_));
+}
+TpValue abs(const TpValue& a) {
+    return TpValue::unary(FpOp::Abs, a, abs(a.value_));
+}
+TpValue TpValue::ternary(FpOp op, const TpValue& a, const TpValue& b,
+                         const TpValue& c, FlexFloatDyn result) {
+    TpContext* ctx =
+        a.ctx_ != nullptr ? a.ctx_ : (b.ctx_ != nullptr ? b.ctx_ : c.ctx_);
+    assert(ctx != nullptr && "TpValue fma requires a live context");
+    const std::int32_t id =
+        ctx->emit_fp(op, result.format(), a.id_, b.id_, c.id_);
+    return TpValue{ctx, result, id};
+}
+
+TpValue fma(const TpValue& a, const TpValue& b, const TpValue& c) {
+    return TpValue::ternary(FpOp::Fma, a, b, c, fma(a.value_, b.value_, c.value_));
+}
+
+bool operator<(const TpValue& a, const TpValue& b) {
+    return TpValue::compare(a, b, a.value_ < b.value_);
+}
+bool operator<=(const TpValue& a, const TpValue& b) {
+    return TpValue::compare(a, b, a.value_ <= b.value_);
+}
+bool operator>(const TpValue& a, const TpValue& b) {
+    return TpValue::compare(a, b, a.value_ > b.value_);
+}
+bool operator>=(const TpValue& a, const TpValue& b) {
+    return TpValue::compare(a, b, a.value_ >= b.value_);
+}
+
+TpValue TpValue::cast_to(FpFormat target) const {
+    assert(ctx_ != nullptr);
+    const std::int32_t id = ctx_->emit_cast(format(), target, id_);
+    return TpValue{ctx_, value_.cast_to(target), id};
+}
+
+// --- TpArray ---------------------------------------------------------------
+
+TpValue TpArray::load(std::size_t i) {
+    assert(i < data_.size());
+    const std::int32_t id = ctx_->emit_load(stream_, format_);
+    return TpValue{ctx_, FlexFloatDyn{data_[i], format_}, id};
+}
+
+void TpArray::store(std::size_t i, const TpValue& value) {
+    assert(i < data_.size());
+    assert(value.format() == format_ &&
+           "store requires the array's element format; cast explicitly");
+    ctx_->emit_store(stream_, format_, value.id_);
+    data_[i] = value.to_double(); // already sanitized to this format
+}
+
+// --- TpContext -------------------------------------------------------------
+
+TpValue TpContext::from_int(std::int64_t value, FpFormat format) {
+    std::int32_t id = -1;
+    if (config_.trace) {
+        Instr instr;
+        instr.kind = InstrKind::FpCast;
+        instr.op = FpOp::FromInt;
+        instr.fmt = format;
+        instr.fmt2 = format;
+        instr.vectorizable = in_vector_region();
+        instr.dst = id = next_id();
+        trace_.push_back(instr);
+    }
+    if (global_stats().enabled()) global_stats().record_op(format, FpOp::FromInt);
+    return TpValue{this, FlexFloatDyn{static_cast<double>(value), format}, id};
+}
+
+void TpContext::int_ops(int n) {
+    if (!config_.trace) return;
+    for (int i = 0; i < n; ++i) {
+        Instr instr;
+        instr.kind = InstrKind::IntAlu;
+        trace_.push_back(instr);
+    }
+}
+
+void TpContext::branch(int n) {
+    if (!config_.trace) return;
+    for (int i = 0; i < n; ++i) {
+        Instr instr;
+        instr.kind = InstrKind::Branch;
+        trace_.push_back(instr);
+    }
+}
+
+std::int32_t TpContext::emit_fp(FpOp op, FpFormat fmt, std::int32_t src1,
+                                std::int32_t src2, std::int32_t src3) {
+    if (!config_.trace) return -1;
+    Instr instr;
+    instr.kind = InstrKind::FpArith;
+    instr.op = op;
+    instr.fmt = fmt;
+    instr.vectorizable = in_vector_region();
+    instr.src1 = src1;
+    instr.src2 = src2;
+    instr.src3 = src3;
+    instr.dst = next_id();
+    trace_.push_back(instr);
+    return instr.dst;
+}
+
+void TpContext::emit_cmp(FpFormat fmt, std::int32_t src1, std::int32_t src2) {
+    if (!config_.trace) return;
+    Instr instr;
+    instr.kind = InstrKind::FpArith;
+    instr.op = FpOp::Cmp;
+    instr.fmt = fmt;
+    instr.vectorizable = false; // compares feed control flow, never SIMD
+    instr.src1 = src1;
+    instr.src2 = src2;
+    trace_.push_back(instr);
+}
+
+std::int32_t TpContext::emit_cast(FpFormat from, FpFormat to, std::int32_t src) {
+    if (!config_.trace) return -1;
+    Instr instr;
+    instr.kind = InstrKind::FpCast;
+    instr.fmt = from;
+    instr.fmt2 = to;
+    instr.vectorizable = in_vector_region();
+    instr.src1 = src;
+    instr.dst = next_id();
+    trace_.push_back(instr);
+    return instr.dst;
+}
+
+std::int32_t TpContext::emit_load(std::uint32_t stream, FpFormat fmt) {
+    if (!config_.trace) return -1;
+    Instr instr;
+    instr.kind = InstrKind::Load;
+    instr.fmt = fmt;
+    instr.bytes = static_cast<std::uint8_t>(fmt.storage_bytes());
+    instr.stream = stream;
+    instr.vectorizable = in_vector_region();
+    instr.dst = next_id();
+    trace_.push_back(instr);
+    return instr.dst;
+}
+
+void TpContext::emit_store(std::uint32_t stream, FpFormat fmt, std::int32_t src) {
+    if (!config_.trace) return;
+    Instr instr;
+    instr.kind = InstrKind::Store;
+    instr.fmt = fmt;
+    instr.bytes = static_cast<std::uint8_t>(fmt.storage_bytes());
+    instr.stream = stream;
+    instr.vectorizable = in_vector_region();
+    instr.src1 = src;
+    trace_.push_back(instr);
+}
+
+TraceProgram TpContext::take_program(bool apply_simd) {
+    TraceProgram program;
+    program.instrs = std::move(trace_);
+    program.value_count = value_count_;
+    trace_ = Trace{};
+    value_count_ = 0;
+    if (apply_simd) vectorize(program);
+    return program;
+}
+
+} // namespace tp::sim

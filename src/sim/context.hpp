@@ -1,0 +1,187 @@
+// Transprecision execution context: the programming interface the
+// benchmark applications are written against.
+//
+// A kernel computes on TpValue handles (dynamic-format FlexFloat values)
+// and TpArray storage. Every arithmetic operation, cast, load and store is
+// executed with bit-exact FlexFloat semantics *and*, when tracing is
+// enabled, recorded into the instruction trace the virtual platform
+// replays. With tracing disabled the same kernel doubles as the fast
+// re-runnable binary the precision-tuning loop needs.
+//
+// Formats are per-value (per variable group in the applications), so one
+// kernel source serves the binary32 baseline, every tuning trial, and the
+// final mixed-format configuration — exactly the property FlexFloat's
+// template class gives the paper's programs, transplanted to runtime
+// formats.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flexfloat/flexfloat_dyn.hpp"
+#include "flexfloat/stats.hpp"
+#include "sim/trace.hpp"
+#include "types/encoding.hpp"
+#include "types/format.hpp"
+
+namespace tp::sim {
+
+class TpContext;
+
+/// A traced FP value: FlexFloat semantics plus an SSA id for the pipeline
+/// model's dependency tracking. Arithmetic requires matching formats
+/// (asserted by FlexFloatDyn); casts are explicit via cast_to().
+class TpValue {
+public:
+    TpValue() noexcept = default;
+
+    [[nodiscard]] double to_double() const noexcept { return value_.value(); }
+    [[nodiscard]] FpFormat format() const noexcept { return value_.format(); }
+    [[nodiscard]] const FlexFloatDyn& flex() const noexcept { return value_; }
+
+    /// Explicit format conversion; emits a cast instruction.
+    [[nodiscard]] TpValue cast_to(FpFormat target) const;
+
+    friend TpValue operator+(const TpValue& a, const TpValue& b);
+    friend TpValue operator-(const TpValue& a, const TpValue& b);
+    friend TpValue operator*(const TpValue& a, const TpValue& b);
+    friend TpValue operator/(const TpValue& a, const TpValue& b);
+    friend TpValue operator-(const TpValue& a);
+    friend TpValue sqrt(const TpValue& a);
+    friend TpValue abs(const TpValue& a);
+    /// Fused multiply-add instruction: a * b + c, single rounding.
+    friend TpValue fma(const TpValue& a, const TpValue& b, const TpValue& c);
+
+    // Comparisons execute a single-cycle FP compare on the unit.
+    friend bool operator<(const TpValue& a, const TpValue& b);
+    friend bool operator<=(const TpValue& a, const TpValue& b);
+    friend bool operator>(const TpValue& a, const TpValue& b);
+    friend bool operator>=(const TpValue& a, const TpValue& b);
+
+private:
+    friend class TpContext;
+    friend class TpArray;
+    TpValue(TpContext* ctx, FlexFloatDyn value, std::int32_t id) noexcept
+        : value_(value), id_(id), ctx_(ctx) {}
+
+    static TpValue binary(FpOp op, const TpValue& a, const TpValue& b,
+                          FlexFloatDyn result);
+    static TpValue ternary(FpOp op, const TpValue& a, const TpValue& b,
+                           const TpValue& c, FlexFloatDyn result);
+    static TpValue unary(FpOp op, const TpValue& a, FlexFloatDyn result);
+    static bool compare(const TpValue& a, const TpValue& b, bool result);
+
+    FlexFloatDyn value_{};
+    std::int32_t id_ = -1;
+    TpContext* ctx_ = nullptr;
+};
+
+/// Array storage in a fixed element format. Raw accessors touch the backing
+/// store without emitting instructions (workload setup / result readout);
+/// load()/store() model real data-memory traffic of element width.
+class TpArray {
+public:
+    [[nodiscard]] FpFormat format() const noexcept { return format_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+    /// Setup-time write: quantized to the element format, no instruction.
+    void set_raw(std::size_t i, double value) noexcept {
+        assert(i < data_.size());
+        data_[i] = quantize(value, format_);
+    }
+    /// Readout without instruction emission.
+    [[nodiscard]] double raw(std::size_t i) const noexcept {
+        assert(i < data_.size());
+        return data_[i];
+    }
+
+    /// Simulated load: one data memory access of storage_bytes() width.
+    [[nodiscard]] TpValue load(std::size_t i);
+    /// Simulated store; the value's format must equal the element format
+    /// (cast explicitly first, as the type system demands).
+    void store(std::size_t i, const TpValue& value);
+
+private:
+    friend class TpContext;
+    TpArray(TpContext* ctx, std::uint32_t stream, FpFormat format, std::size_t n)
+        : ctx_(ctx), stream_(stream), format_(format), data_(n, 0.0) {}
+
+    TpContext* ctx_;
+    std::uint32_t stream_;
+    FpFormat format_;
+    std::vector<double> data_;
+};
+
+class TpContext {
+public:
+    struct Config {
+        bool trace = true; // false: compute only (fast tuning runs)
+    };
+
+    TpContext() : TpContext(Config{}) {}
+    explicit TpContext(Config config) : config_(config) {}
+    TpContext(const TpContext&) = delete;
+    TpContext& operator=(const TpContext&) = delete;
+
+    /// A register-resident constant: no instruction is emitted (the value
+    /// is materialized once outside the measured kernel, like FP literals
+    /// kept in registers by the compiler).
+    [[nodiscard]] TpValue constant(double value, FpFormat format) {
+        return TpValue{this, FlexFloatDyn{value, format}, next_id()};
+    }
+
+    /// Integer -> FP conversion instruction (e.g. loop index entering the
+    /// FP dataflow).
+    [[nodiscard]] TpValue from_int(std::int64_t value, FpFormat format);
+
+    /// Array backed by the simulated data memory.
+    [[nodiscard]] TpArray make_array(FpFormat format, std::size_t n) {
+        return TpArray{this, next_stream_++, format, n};
+    }
+
+    /// Integer ALU work (index arithmetic, address generation, selects).
+    void int_ops(int n = 1);
+    /// Control transfer; pays a pipeline bubble when simulated.
+    void branch(int n = 1);
+    /// Canonical per-iteration loop overhead: induction update + branch.
+    void loop_iteration() {
+        int_ops(1);
+        branch(1);
+    }
+
+    /// Tags a vectorizable section (RAII); grouping into SIMD instructions
+    /// happens in sim::vectorize(). The same guard feeds the FlexFloat
+    /// statistics registry's scalar/vectorial split.
+    [[nodiscard]] VectorRegionGuard vector_region() { return VectorRegionGuard{}; }
+
+    [[nodiscard]] bool tracing() const noexcept { return config_.trace; }
+
+    /// Hands the recorded trace out (and resets the context's trace state).
+    /// `apply_simd` runs the vectorization pass, modelling the SIMD-enabled
+    /// toolchain; pass false for the scalar baseline.
+    [[nodiscard]] TraceProgram take_program(bool apply_simd);
+
+private:
+    friend class TpValue;
+    friend class TpArray;
+
+    std::int32_t next_id() noexcept {
+        return static_cast<std::int32_t>(value_count_++);
+    }
+
+    std::int32_t emit_fp(FpOp op, FpFormat fmt, std::int32_t src1,
+                         std::int32_t src2, std::int32_t src3 = -1);
+    void emit_cmp(FpFormat fmt, std::int32_t src1, std::int32_t src2);
+    std::int32_t emit_cast(FpFormat from, FpFormat to, std::int32_t src);
+    std::int32_t emit_load(std::uint32_t stream, FpFormat fmt);
+    void emit_store(std::uint32_t stream, FpFormat fmt, std::int32_t src);
+
+    Config config_;
+    Trace trace_;
+    std::size_t value_count_ = 0;
+    std::uint32_t next_stream_ = 1;
+};
+
+} // namespace tp::sim

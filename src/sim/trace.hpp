@@ -1,0 +1,70 @@
+// Dynamic instruction trace of a transprecision program.
+//
+// The PULPino virtual platform the paper uses is cycle accurate and reports
+// per-instruction cycle counts. This reproduction gets the same quantities
+// by executing the real kernels (with real FlexFloat arithmetic) while
+// recording a typed instruction trace, then replaying the trace through an
+// in-order pipeline model with true data dependencies (sim/pipeline.hpp)
+// and integrating energy over it (sim/platform.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flexfloat/stats.hpp"
+#include "types/format.hpp"
+
+namespace tp::sim {
+
+enum class InstrKind : std::uint8_t {
+    IntAlu,  // integer ALU / address generation
+    Branch,  // control flow (one delay slot modelled as a stall)
+    Load,    // data memory read
+    Store,   // data memory write
+    FpArith, // FP operation executed on the transprecision FPU
+    FpCast,  // FP<->FP or FP<->int conversion (single cycle)
+};
+
+/// One dynamic instruction. `dst`/`src1`/`src2` are SSA-style value ids
+/// assigned by the tracing context (-1 when absent); the pipeline model
+/// uses them to reproduce data-dependency stalls.
+struct Instr {
+    InstrKind kind = InstrKind::IntAlu;
+    FpOp op = FpOp::Add;     // valid for FpArith
+    FpFormat fmt{8, 23};     // operand format (FpArith/FpCast/Load/Store)
+    FpFormat fmt2{8, 23};    // cast target format (FpCast)
+    std::uint8_t bytes = 0;  // access width for Load/Store
+    bool vectorizable = false; // emitted inside a tagged vector region
+    std::uint32_t simd_group = 0; // 0 = scalar, else 1-based group id
+    std::uint32_t stream = 0;     // array id, for grouping memory accesses
+    std::int32_t dst = -1;
+    std::int32_t src1 = -1;
+    std::int32_t src2 = -1;
+    std::int32_t src3 = -1; // third operand (fused multiply-add)
+};
+
+using Trace = std::vector<Instr>;
+
+/// A SIMD group created by the vectorization pass: `lanes` element
+/// operations retired by a single instruction slot. Member instructions are
+/// adjacent in the rewritten trace; the group issues at `last_index`.
+struct SimdGroup {
+    std::vector<std::int32_t> dsts;
+    std::vector<std::int32_t> srcs;
+    std::size_t last_index = 0; // trace index at which the group issues
+    int lanes = 0;
+    int bytes = 0; // total access width for packed Load/Store groups
+    InstrKind kind = InstrKind::FpArith;
+    FpOp op = FpOp::Add;
+    FpFormat fmt{8, 23};
+};
+
+/// A complete traced execution: the instruction stream, the SIMD groups
+/// annotated by vectorize(), and the number of value ids in use.
+struct TraceProgram {
+    Trace instrs;
+    std::vector<SimdGroup> groups;
+    std::size_t value_count = 0;
+};
+
+} // namespace tp::sim

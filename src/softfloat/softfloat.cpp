@@ -1,0 +1,557 @@
+#include "softfloat/softfloat.hpp"
+
+#include <bit>
+#include <cassert>
+#include <limits>
+
+#include "types/encoding.hpp"
+
+namespace tp::softfloat {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+enum class Class : std::uint8_t { Zero, Finite, Inf, NaN };
+
+// Working representation: magnitude significand normalized so the leading
+// (hidden) bit sits at bit 61; the value is sig * 2^(exp - 61). Two headroom
+// bits (62, 63) absorb addition carries, and at least nine bits of guard
+// space remain below the narrowest rounding position (p <= 53), so a jammed
+// sticky bit at bit 0 never reaches the round bit.
+constexpr int kHiddenBit = 61;
+
+struct Unpacked {
+    Class cls = Class::Zero;
+    bool sign = false;
+    int exp = 0; // unbiased exponent for Class::Finite
+    u64 sig = 0; // [2^61, 2^62) for Class::Finite
+};
+
+/// Right shift that ORs all shifted-out bits into the result LSB
+/// ("shift right jam", the classic SoftFloat sticky-preserving shift).
+constexpr u64 shift_right_jam(u64 x, int count) noexcept {
+    if (count <= 0) return x;
+    if (count >= 64) return x != 0 ? 1 : 0;
+    return (x >> count) | ((x << (64 - count)) != 0 ? 1 : 0);
+}
+
+constexpr u64 shift_right_jam128(u128 x, int count) noexcept {
+    if (count >= 128) return x != 0 ? 1 : 0;
+    const u128 shifted = x >> count;
+    const bool lost = (x & ((u128{1} << count) - 1)) != 0;
+    return static_cast<u64>(shifted) | (lost ? 1 : 0);
+}
+
+Unpacked unpack(u64 bits, FpFormat f) noexcept {
+    const int e = f.exp_bits;
+    const int m = f.mant_bits;
+    const u64 exp_mask = (1ULL << e) - 1;
+    Unpacked r;
+    r.sign = ((bits >> (e + m)) & 1) != 0;
+    const u64 biased = (bits >> m) & exp_mask;
+    const u64 mant = bits & ((1ULL << m) - 1);
+    if (biased == exp_mask) {
+        r.cls = mant != 0 ? Class::NaN : Class::Inf;
+        return r;
+    }
+    if (biased == 0 && mant == 0) {
+        r.cls = Class::Zero;
+        return r;
+    }
+    r.cls = Class::Finite;
+    if (biased == 0) {
+        // Subnormal: normalize so the leading set bit becomes the hidden bit.
+        const int lead = 63 - std::countl_zero(mant);
+        r.exp = f.min_exp() - (m - lead);
+        r.sig = mant << (kHiddenBit - lead);
+    } else {
+        r.exp = static_cast<int>(biased) - f.bias();
+        r.sig = (mant | (1ULL << m)) << (kHiddenBit - m);
+    }
+    return r;
+}
+
+/// Rounds a significand with hidden bit at kHiddenBit (so `sig` is in
+/// [2^61, 2^62)) to `f` and packs it. The LSB of `sig` may carry a jammed
+/// sticky bit. Handles subnormal results, underflow to zero and overflow to
+/// infinity.
+u64 pack_round(bool sign, int exp, u64 sig, FpFormat f) noexcept {
+    const int m = f.mant_bits;
+    const int p = f.precision();
+    const u64 sign_bit = sign ? 1ULL << (f.exp_bits + m) : 0;
+    const u64 exp_mask = (1ULL << f.exp_bits) - 1;
+    assert(sig >= (1ULL << kHiddenBit) && sig < (1ULL << (kHiddenBit + 1)));
+
+    int shift = (kHiddenBit + 1) - p; // bits to drop for a normal result
+    bool subnormal = false;
+    if (exp < f.min_exp()) {
+        shift += f.min_exp() - exp;
+        subnormal = true;
+    }
+
+    u64 kept;
+    if (shift >= 64) {
+        kept = 0;
+        // All bits lost; sig != 0, so the remainder is non-zero but far
+        // below half of the smallest subnormal only when shift > 64.
+        if (shift == 64) {
+            // Tie possible only if sig's top bit is the half point with
+            // nothing below, which cannot round up to an odd `kept` of 0;
+            // rounding up occurs when remainder > half.
+            const u64 half_top = 1ULL << 63;
+            if (sig > half_top) kept = 1;
+        }
+    } else {
+        kept = sig >> shift;
+        const u64 rem = sig & ((1ULL << shift) - 1);
+        const u64 half = 1ULL << (shift - 1);
+        if (rem > half || (rem == half && (kept & 1))) ++kept;
+    }
+
+    if (subnormal) {
+        if (kept >= (1ULL << m)) {
+            // Rounded up into the smallest normal number.
+            return sign_bit | (1ULL << m);
+        }
+        return sign_bit | kept; // biased exponent 0
+    }
+
+    if (kept == (1ULL << p)) { // carry out of the significand
+        kept >>= 1;
+        ++exp;
+    }
+    if (exp > f.max_exp()) return sign_bit | (exp_mask << m); // overflow
+    const auto biased = static_cast<u64>(exp + f.bias());
+    return sign_bit | (biased << m) | (kept & ((1ULL << m) - 1));
+}
+
+u64 signed_zero(bool sign, FpFormat f) noexcept {
+    return sign ? 1ULL << (f.exp_bits + f.mant_bits) : 0;
+}
+
+/// Magnitude addition: |a| + |b| with the given result sign.
+u64 add_mags(bool sign, Unpacked a, Unpacked b, FpFormat f) noexcept {
+    if (a.exp < b.exp || (a.exp == b.exp && a.sig < b.sig)) std::swap(a, b);
+    b.sig = shift_right_jam(b.sig, a.exp - b.exp);
+    u64 sum = a.sig + b.sig;
+    int exp = a.exp;
+    if (sum >= (1ULL << (kHiddenBit + 1))) {
+        sum = (sum >> 1) | (sum & 1);
+        ++exp;
+    }
+    return pack_round(sign, exp, sum, f);
+}
+
+/// Magnitude subtraction: |a| - |b| where the caller guarantees nothing
+/// about the ordering; the result sign follows the larger magnitude.
+u64 sub_mags(bool sign_a, Unpacked a, Unpacked b, FpFormat f) noexcept {
+    bool sign = sign_a;
+    if (a.exp < b.exp || (a.exp == b.exp && a.sig < b.sig)) {
+        std::swap(a, b);
+        sign = !sign_a;
+    }
+    if (a.exp == b.exp && a.sig == b.sig) {
+        return signed_zero(false, f); // exact cancellation is +0 in RNE
+    }
+    b.sig = shift_right_jam(b.sig, a.exp - b.exp);
+    u64 dif = a.sig - b.sig;
+    int exp = a.exp;
+    // Renormalize: cancellation can clear any number of leading bits, but
+    // bits were only jammed (and thus approximate) when the exponents
+    // differed by >= 2, in which case at most one leading bit cancels.
+    const int lead = 63 - std::countl_zero(dif);
+    const int shift_left = kHiddenBit - lead;
+    dif <<= shift_left;
+    exp -= shift_left;
+    return pack_round(sign, exp, dif, f);
+}
+
+} // namespace
+
+u64 quiet_nan(FpFormat f) noexcept {
+    const u64 exp_mask = (1ULL << f.exp_bits) - 1;
+    return (exp_mask << f.mant_bits) | (1ULL << (f.mant_bits - 1));
+}
+
+u64 infinity(FpFormat f, bool negative) noexcept {
+    const u64 exp_mask = (1ULL << f.exp_bits) - 1;
+    return signed_zero(negative, f) | (exp_mask << f.mant_bits);
+}
+
+bool is_nan(u64 a, FpFormat f) noexcept { return unpack(a, f).cls == Class::NaN; }
+bool is_inf(u64 a, FpFormat f) noexcept { return unpack(a, f).cls == Class::Inf; }
+bool is_zero(u64 a, FpFormat f) noexcept { return unpack(a, f).cls == Class::Zero; }
+
+u64 neg(u64 a, FpFormat f) noexcept {
+    return a ^ (1ULL << (f.exp_bits + f.mant_bits));
+}
+
+u64 abs(u64 a, FpFormat f) noexcept {
+    return a & ~(1ULL << (f.exp_bits + f.mant_bits));
+}
+
+u64 add(u64 a, u64 b, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    const Unpacked ub = unpack(b, f);
+    if (ua.cls == Class::NaN || ub.cls == Class::NaN) return quiet_nan(f);
+    if (ua.cls == Class::Inf && ub.cls == Class::Inf) {
+        return ua.sign == ub.sign ? infinity(f, ua.sign) : quiet_nan(f);
+    }
+    if (ua.cls == Class::Inf) return infinity(f, ua.sign);
+    if (ub.cls == Class::Inf) return infinity(f, ub.sign);
+    if (ua.cls == Class::Zero && ub.cls == Class::Zero) {
+        return signed_zero(ua.sign && ub.sign, f);
+    }
+    if (ua.cls == Class::Zero) return b;
+    if (ub.cls == Class::Zero) return a;
+    if (ua.sign == ub.sign) return add_mags(ua.sign, ua, ub, f);
+    return sub_mags(ua.sign, ua, ub, f);
+}
+
+u64 sub(u64 a, u64 b, FpFormat f) noexcept { return add(a, neg(b, f), f); }
+
+u64 mul(u64 a, u64 b, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    const Unpacked ub = unpack(b, f);
+    const bool sign = ua.sign != ub.sign;
+    if (ua.cls == Class::NaN || ub.cls == Class::NaN) return quiet_nan(f);
+    if (ua.cls == Class::Inf || ub.cls == Class::Inf) {
+        if (ua.cls == Class::Zero || ub.cls == Class::Zero) return quiet_nan(f);
+        return infinity(f, sign);
+    }
+    if (ua.cls == Class::Zero || ub.cls == Class::Zero) return signed_zero(sign, f);
+
+    // Product of two [2^61, 2^62) significands is in [2^122, 2^124).
+    const u128 prod = static_cast<u128>(ua.sig) * ub.sig;
+    int exp = ua.exp + ub.exp;
+    u64 sig;
+    if (prod >= (u128{1} << 123)) {
+        sig = shift_right_jam128(prod, 123 - kHiddenBit);
+        ++exp;
+    } else {
+        sig = shift_right_jam128(prod, 122 - kHiddenBit);
+    }
+    return pack_round(sign, exp, sig, f);
+}
+
+u64 div(u64 a, u64 b, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    const Unpacked ub = unpack(b, f);
+    const bool sign = ua.sign != ub.sign;
+    if (ua.cls == Class::NaN || ub.cls == Class::NaN) return quiet_nan(f);
+    if (ua.cls == Class::Inf) {
+        return ub.cls == Class::Inf ? quiet_nan(f) : infinity(f, sign);
+    }
+    if (ub.cls == Class::Inf) return signed_zero(sign, f);
+    if (ub.cls == Class::Zero) {
+        return ua.cls == Class::Zero ? quiet_nan(f) : infinity(f, sign);
+    }
+    if (ua.cls == Class::Zero) return signed_zero(sign, f);
+
+    // q = siga * 2^62 / sigb is in (2^61, 2^63).
+    const u128 numer = static_cast<u128>(ua.sig) << 62;
+    u64 q = static_cast<u64>(numer / ub.sig);
+    const bool rem = (numer % ub.sig) != 0;
+    int exp = ua.exp - ub.exp;
+    if (q >= (1ULL << 62)) {
+        q = (q >> 1) | (q & 1) | (rem ? 1 : 0);
+    } else {
+        --exp;
+        q |= rem ? 1 : 0;
+    }
+    return pack_round(sign, exp, q, f);
+}
+
+u64 sqrt(u64 a, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    if (ua.cls == Class::NaN) return quiet_nan(f);
+    if (ua.cls == Class::Zero) return a; // sqrt(+-0) = +-0
+    if (ua.sign) return quiet_nan(f);
+    if (ua.cls == Class::Inf) return infinity(f, false);
+
+    // Make the exponent even so sqrt(2^exp) is a power of two.
+    u64 sig = ua.sig;
+    int exp = ua.exp;
+    int sig_top = kHiddenBit;
+    if (exp & 1) {
+        // Borrow one bit from the exponent into the significand.
+        sig <<= 1;
+        sig_top = kHiddenBit + 1;
+        --exp;
+    }
+    // value = sig * 2^(exp - kHiddenBit); with X = sig << kHiddenBit,
+    // sqrt(value) = floor_sqrt(X) * 2^(exp/2 - kHiddenBit), and
+    // floor_sqrt(X) lands in [2^61, 2^63) for sig_top in {61, 62}.
+    const u128 radicand = static_cast<u128>(sig) << kHiddenBit;
+    // Bitwise integer square root of a 128-bit value.
+    u128 rem = 0;
+    u128 root = 0;
+    for (int i = 126; i >= 0; i -= 2) {
+        rem = (rem << 2) | ((radicand >> i) & 0x3);
+        const u128 trial = (root << 2) | 1;
+        root <<= 1;
+        if (rem >= trial) {
+            rem -= trial;
+            root |= 1;
+        }
+    }
+    u64 s = static_cast<u64>(root);
+    const bool inexact = rem != 0;
+    int res_exp = exp / 2;
+    if (s >= (1ULL << 62)) {
+        // sig_top was 62 (odd original exponent): sqrt in [2^61.5, 2^62.5).
+        s = (s >> 1) | (s & 1) | (inexact ? 1 : 0);
+        ++res_exp;
+        (void)sig_top;
+    } else {
+        s |= inexact ? 1 : 0;
+    }
+    return pack_round(false, res_exp, s, f);
+}
+
+u64 fma(u64 a, u64 b, u64 c, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    const Unpacked ub = unpack(b, f);
+    const Unpacked uc = unpack(c, f);
+    const bool psign = ua.sign != ub.sign;
+    if (ua.cls == Class::NaN || ub.cls == Class::NaN || uc.cls == Class::NaN) {
+        return quiet_nan(f);
+    }
+    if (ua.cls == Class::Inf || ub.cls == Class::Inf) {
+        if (ua.cls == Class::Zero || ub.cls == Class::Zero) return quiet_nan(f);
+        if (uc.cls == Class::Inf && uc.sign != psign) return quiet_nan(f);
+        return infinity(f, psign);
+    }
+    if (uc.cls == Class::Inf) return infinity(f, uc.sign);
+    if (ua.cls == Class::Zero || ub.cls == Class::Zero) {
+        // Exact zero product: the result is c (with the +0 rule on 0 + -0).
+        if (uc.cls == Class::Zero) return signed_zero(psign && uc.sign, f);
+        return c;
+    }
+    if (uc.cls == Class::Zero) return mul(a, b, f);
+
+    // Exact product, normalized (losslessly) to a hidden bit at position
+    // 123: value = psig * 2^(pexp - 123), psig in [2^123, 2^124).
+    u128 psig = static_cast<u128>(ua.sig) * ub.sig; // [2^122, 2^124)
+    int pexp = ua.exp + ub.exp;
+    if (psig < (u128{1} << 123)) {
+        psig <<= 1;
+    } else {
+        ++pexp;
+    }
+    // The addend, exactly, on the same hidden-at-123 grid.
+    u128 csig = static_cast<u128>(uc.sig) << (123 - kHiddenBit);
+    int cexp = uc.exp;
+
+    const bool big_is_product = pexp > cexp || (pexp == cexp && psig >= csig);
+    const bool rsign = big_is_product ? psign : uc.sign;
+    int rexp = big_is_product ? pexp : cexp;
+    const int diff = big_is_product ? pexp - cexp : cexp - pexp;
+    u128 big = big_is_product ? psig : csig;
+    u128 small = big_is_product ? csig : psig;
+
+    u128 rsig;
+    if (psign == uc.sign) {
+        // Addition tolerates a jammed alignment at any distance.
+        if (diff > 0) {
+            const u128 shifted = diff >= 128 ? 0 : small >> diff;
+            const bool lost = diff >= 128
+                                  ? small != 0
+                                  : (small & ((u128{1} << diff) - 1)) != 0;
+            small = shifted | (lost ? 1 : 0);
+        }
+        rsig = big + small; // < 2^125
+        if (rsig >= (u128{1} << 124)) {
+            rsig = (rsig >> 1) | (rsig & 1);
+            ++rexp;
+        }
+    } else if (diff <= 2) {
+        // Close exponents: deep cancellation is possible, so subtract
+        // EXACTLY (shift the larger operand left — it fits: 2^124 << 2).
+        big <<= diff;
+        rexp -= diff;
+        if (big == small) return signed_zero(false, f); // exact cancellation
+        rsig = big > small ? big - small : small - big;
+        // (big >= small by construction on true magnitudes, but after the
+        //  left shift the roles are already correct: big' = big * 2^diff
+        //  aligns both on the smaller operand's grid.)
+        int lead = 127;
+        while (((rsig >> lead) & 1) == 0) --lead;
+        const int shift_left = 123 - lead;
+        if (shift_left > 0) {
+            rsig <<= shift_left;
+            rexp -= shift_left;
+        } else if (shift_left < 0) {
+            rsig = (rsig >> -shift_left) | ((rsig & ((u128{1} << -shift_left) - 1)) != 0 ? 1 : 0);
+            rexp += -shift_left;
+        }
+    } else {
+        // Distant exponents: at most one leading bit cancels, so a jammed
+        // alignment is harmless (the jam stays far below the round bit).
+        const u128 shifted = diff >= 128 ? 0 : small >> diff;
+        const bool lost = diff >= 128
+                              ? small != 0
+                              : (small & ((u128{1} << diff) - 1)) != 0;
+        small = shifted | (lost ? 1 : 0);
+        rsig = big - small;
+        int lead = 127;
+        while (((rsig >> lead) & 1) == 0) --lead;
+        const int shift_left = 123 - lead;
+        if (shift_left > 0) {
+            rsig <<= shift_left;
+            rexp -= shift_left;
+        }
+    }
+    // Reduce the hidden-at-123 significand to the 62-bit working width.
+    const u64 sig = shift_right_jam128(rsig, 123 - kHiddenBit);
+    return pack_round(rsign, rexp, sig, f);
+}
+
+u64 cast(u64 a, FpFormat from, FpFormat to) noexcept {
+    const Unpacked ua = unpack(a, from);
+    switch (ua.cls) {
+    case Class::NaN: return quiet_nan(to);
+    case Class::Inf: return infinity(to, ua.sign);
+    case Class::Zero: return signed_zero(ua.sign, to);
+    case Class::Finite: return pack_round(ua.sign, ua.exp, ua.sig, to);
+    }
+    return quiet_nan(to);
+}
+
+u64 from_int(std::int64_t value, FpFormat f) noexcept {
+    if (value == 0) return 0;
+    const bool sign = value < 0;
+    // Magnitude without UB for INT64_MIN.
+    u64 mag = sign ? (~static_cast<u64>(value) + 1) : static_cast<u64>(value);
+    const int lead = 63 - std::countl_zero(mag);
+    int exp = lead;
+    u64 sig;
+    if (lead <= kHiddenBit) {
+        sig = mag << (kHiddenBit - lead);
+    } else {
+        sig = shift_right_jam(mag, lead - kHiddenBit);
+    }
+    return pack_round(sign, exp, sig, f);
+}
+
+std::int64_t to_int(u64 a, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    switch (ua.cls) {
+    case Class::NaN: return 0;
+    case Class::Zero: return 0;
+    case Class::Inf:
+        return ua.sign ? std::numeric_limits<std::int64_t>::min()
+                       : std::numeric_limits<std::int64_t>::max();
+    case Class::Finite: break;
+    }
+    if (ua.exp < -1) return 0; // |value| < 1/2 rounds to 0
+    if (ua.exp > 62) {
+        return ua.sign ? std::numeric_limits<std::int64_t>::min()
+                       : std::numeric_limits<std::int64_t>::max();
+    }
+    // value = sig * 2^(exp - kHiddenBit); shift to integer weight with RNE.
+    const int shift = kHiddenBit - ua.exp;
+    u64 mag;
+    if (shift <= 0) {
+        mag = ua.sig << -shift;
+    } else if (shift >= 64) {
+        mag = 0;
+    } else {
+        const u64 kept = ua.sig >> shift;
+        const u64 rem = ua.sig & ((1ULL << shift) - 1);
+        const u64 half = 1ULL << (shift - 1);
+        mag = kept;
+        if (rem > half || (rem == half && (kept & 1))) ++mag;
+    }
+    if (!ua.sign && mag > static_cast<u64>(std::numeric_limits<std::int64_t>::max())) {
+        return std::numeric_limits<std::int64_t>::max();
+    }
+    if (ua.sign && mag >= static_cast<u64>(std::numeric_limits<std::int64_t>::max()) + 1) {
+        return std::numeric_limits<std::int64_t>::min(); // exact for mag == 2^63
+    }
+    return ua.sign ? -static_cast<std::int64_t>(mag) : static_cast<std::int64_t>(mag);
+}
+
+bool eq(u64 a, u64 b, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    const Unpacked ub = unpack(b, f);
+    if (ua.cls == Class::NaN || ub.cls == Class::NaN) return false;
+    if (ua.cls == Class::Zero && ub.cls == Class::Zero) return true;
+    return a == b;
+}
+
+bool lt(u64 a, u64 b, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    const Unpacked ub = unpack(b, f);
+    if (ua.cls == Class::NaN || ub.cls == Class::NaN) return false;
+    if (ua.cls == Class::Zero && ub.cls == Class::Zero) return false;
+    if (ua.sign != ub.sign) {
+        if (ua.cls == Class::Zero) return !ub.sign;
+        if (ub.cls == Class::Zero) return ua.sign;
+        return ua.sign;
+    }
+    // Same sign (or one is zero): compare magnitudes via the packed layout,
+    // which is monotonic in magnitude for a fixed sign.
+    const u64 mag_a = abs(a, f);
+    const u64 mag_b = abs(b, f);
+    const bool negative = ua.cls == Class::Zero ? ub.sign : ua.sign;
+    return negative ? mag_a > mag_b : mag_a < mag_b;
+}
+
+bool le(u64 a, u64 b, FpFormat f) noexcept {
+    const Unpacked ua = unpack(a, f);
+    const Unpacked ub = unpack(b, f);
+    if (ua.cls == Class::NaN || ub.cls == Class::NaN) return false;
+    return eq(a, b, f) || lt(a, b, f);
+}
+
+SoftFloat::SoftFloat(double value, FpFormat format) noexcept
+    : bits_(encode(value, format)), format_(format) {}
+
+SoftFloat SoftFloat::from_bits(u64 bits, FpFormat format) noexcept {
+    return SoftFloat{bits & bit_mask(format), format, 0};
+}
+
+double SoftFloat::to_double() const noexcept { return decode(bits_, format_); }
+
+SoftFloat SoftFloat::operator+(const SoftFloat& rhs) const noexcept {
+    assert(format_ == rhs.format_);
+    return SoftFloat{add(bits_, rhs.bits_, format_), format_, 0};
+}
+
+SoftFloat SoftFloat::operator-(const SoftFloat& rhs) const noexcept {
+    assert(format_ == rhs.format_);
+    return SoftFloat{sub(bits_, rhs.bits_, format_), format_, 0};
+}
+
+SoftFloat SoftFloat::operator*(const SoftFloat& rhs) const noexcept {
+    assert(format_ == rhs.format_);
+    return SoftFloat{mul(bits_, rhs.bits_, format_), format_, 0};
+}
+
+SoftFloat SoftFloat::operator/(const SoftFloat& rhs) const noexcept {
+    assert(format_ == rhs.format_);
+    return SoftFloat{div(bits_, rhs.bits_, format_), format_, 0};
+}
+
+SoftFloat SoftFloat::operator-() const noexcept {
+    return SoftFloat{softfloat::neg(bits_, format_), format_, 0};
+}
+
+bool SoftFloat::operator==(const SoftFloat& rhs) const noexcept {
+    assert(format_ == rhs.format_);
+    return eq(bits_, rhs.bits_, format_);
+}
+
+bool SoftFloat::operator<(const SoftFloat& rhs) const noexcept {
+    assert(format_ == rhs.format_);
+    return lt(bits_, rhs.bits_, format_);
+}
+
+bool SoftFloat::operator<=(const SoftFloat& rhs) const noexcept {
+    assert(format_ == rhs.format_);
+    return le(bits_, rhs.bits_, format_);
+}
+
+} // namespace tp::softfloat

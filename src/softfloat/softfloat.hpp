@@ -1,0 +1,111 @@
+// Parametric software floating-point emulation, implemented purely with
+// integer arithmetic (in the style of Berkeley SoftFloat, which the paper
+// discusses as the bit-accurate-but-slow alternative to FlexFloat).
+//
+// Every operation takes packed bit patterns of an arbitrary (e, m) format
+// (1 <= e <= 11, 1 <= m <= 52) and returns the correctly rounded packed
+// result using round-to-nearest-even, with gradual underflow, signed zeros,
+// infinities and a canonical quiet NaN.
+//
+// The module plays two roles in this reproduction:
+//   1. an independent oracle: tests prove that FlexFloat's native-backend
+//      "compute in double, then sanitize" strategy is bit-identical to a
+//      dedicated hardware unit of the target format;
+//   2. the baseline for the FlexFloat-vs-emulation speed comparison
+//      (bench_flexfloat_overhead), mirroring the paper's Section III-A
+//      claim that FlexFloat "produces binaries that are fast to execute".
+#pragma once
+
+#include <cstdint>
+
+#include "types/format.hpp"
+
+namespace tp::softfloat {
+
+/// Correctly rounded a + b in `format`.
+[[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b, FpFormat format) noexcept;
+
+/// Correctly rounded a - b in `format`.
+[[nodiscard]] std::uint64_t sub(std::uint64_t a, std::uint64_t b, FpFormat format) noexcept;
+
+/// Correctly rounded a * b in `format`.
+[[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b, FpFormat format) noexcept;
+
+/// Correctly rounded a / b in `format`.
+[[nodiscard]] std::uint64_t div(std::uint64_t a, std::uint64_t b, FpFormat format) noexcept;
+
+/// Correctly rounded sqrt(a) in `format`; sqrt of a negative non-zero value
+/// returns the canonical NaN.
+[[nodiscard]] std::uint64_t sqrt(std::uint64_t a, FpFormat format) noexcept;
+
+/// Correctly rounded fused multiply-add: a * b + c with a single rounding.
+/// (The paper's unit provides add/sub/mul; FMA is the natural extension its
+/// successor FPU implements, provided here for completeness.)
+[[nodiscard]] std::uint64_t fma(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                                FpFormat format) noexcept;
+
+/// Format conversion with correct rounding (the FPU's FP<->FP cast).
+[[nodiscard]] std::uint64_t cast(std::uint64_t a, FpFormat from, FpFormat to) noexcept;
+
+/// Signed integer to FP conversion with correct rounding.
+[[nodiscard]] std::uint64_t from_int(std::int64_t value, FpFormat format) noexcept;
+
+/// FP to signed integer, round-to-nearest-even. NaN and out-of-range values
+/// saturate to the int64 limits (NaN maps to 0), matching common FPU
+/// conversion semantics.
+[[nodiscard]] std::int64_t to_int(std::uint64_t a, FpFormat format) noexcept;
+
+/// Negation (sign-bit flip; exact, affects NaN sign too as on real FPUs).
+[[nodiscard]] std::uint64_t neg(std::uint64_t a, FpFormat format) noexcept;
+
+/// Magnitude (sign-bit clear).
+[[nodiscard]] std::uint64_t abs(std::uint64_t a, FpFormat format) noexcept;
+
+/// IEEE comparisons: NaN compares unordered (eq/lt/le all false);
+/// +0 == -0.
+[[nodiscard]] bool eq(std::uint64_t a, std::uint64_t b, FpFormat format) noexcept;
+[[nodiscard]] bool lt(std::uint64_t a, std::uint64_t b, FpFormat format) noexcept;
+[[nodiscard]] bool le(std::uint64_t a, std::uint64_t b, FpFormat format) noexcept;
+
+[[nodiscard]] bool is_nan(std::uint64_t a, FpFormat format) noexcept;
+[[nodiscard]] bool is_inf(std::uint64_t a, FpFormat format) noexcept;
+[[nodiscard]] bool is_zero(std::uint64_t a, FpFormat format) noexcept;
+
+/// Canonical quiet NaN pattern of `format`.
+[[nodiscard]] std::uint64_t quiet_nan(FpFormat format) noexcept;
+
+/// Infinity with the given sign.
+[[nodiscard]] std::uint64_t infinity(FpFormat format, bool negative) noexcept;
+
+/// Value wrapper offering infix arithmetic on a fixed format — convenient in
+/// tests and in the emulation-overhead benchmark. All operators round
+/// correctly in the wrapper's format; mixing formats is a logic error and
+/// asserts.
+class SoftFloat {
+public:
+    SoftFloat(double value, FpFormat format) noexcept;
+    static SoftFloat from_bits(std::uint64_t bits, FpFormat format) noexcept;
+
+    [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
+    [[nodiscard]] FpFormat format() const noexcept { return format_; }
+    [[nodiscard]] double to_double() const noexcept;
+
+    SoftFloat operator+(const SoftFloat& rhs) const noexcept;
+    SoftFloat operator-(const SoftFloat& rhs) const noexcept;
+    SoftFloat operator*(const SoftFloat& rhs) const noexcept;
+    SoftFloat operator/(const SoftFloat& rhs) const noexcept;
+    SoftFloat operator-() const noexcept;
+
+    bool operator==(const SoftFloat& rhs) const noexcept;
+    bool operator<(const SoftFloat& rhs) const noexcept;
+    bool operator<=(const SoftFloat& rhs) const noexcept;
+
+private:
+    SoftFloat(std::uint64_t bits, FpFormat format, int) noexcept
+        : bits_(bits), format_(format) {}
+
+    std::uint64_t bits_;
+    FpFormat format_;
+};
+
+} // namespace tp::softfloat

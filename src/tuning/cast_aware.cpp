@@ -1,0 +1,91 @@
+#include "tuning/cast_aware.hpp"
+
+#include <array>
+
+#include "tuning/quality.hpp"
+
+namespace tp::tuning {
+namespace {
+
+struct Cost {
+    double energy_pj = 0.0;
+    std::uint64_t casts = 0;
+};
+
+Cost platform_cost(apps::App& app, const apps::TypeConfig& config,
+                   const CastAwareOptions& options) {
+    app.prepare(options.cost_input_set);
+    sim::TpContext ctx;
+    (void)app.run(ctx, config);
+    const sim::RunReport report = sim::simulate(ctx.take_program(options.simd));
+    return Cost{report.energy.total(), report.casts};
+}
+
+bool meets_everywhere(apps::App& app, const apps::TypeConfig& config,
+                      const CastAwareOptions& options) {
+    for (unsigned set : options.search.input_sets) {
+        const auto golden = app.golden(set);
+        app.prepare(set);
+        sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
+        const auto out = app.run(ctx, config);
+        if (!meets_requirement(golden, out, options.search.epsilon)) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& options) {
+    CastAwareResult result;
+    result.base = distributed_search(app, options.search);
+    result.config = result.base.type_config();
+
+    const Cost base_cost = platform_cost(app, result.config, options);
+    result.base_energy_pj = base_cost.energy_pj;
+    result.base_casts = base_cost.casts;
+
+    // Candidate formats: the members of the type system in use.
+    std::array<FormatKind, 4> members{FormatKind::Binary8, FormatKind::Binary16,
+                                      FormatKind::Binary16Alt,
+                                      FormatKind::Binary32};
+
+    apps::TypeConfig current = result.config;
+    Cost current_cost = base_cost;
+    for (int round = 0; round < options.max_rounds; ++round) {
+        bool improved = false;
+        for (const SignalResult& sr : result.base.signals) {
+            const FpFormat original = current.at(sr.name);
+            FpFormat best = original;
+            Cost best_cost = current_cost;
+            for (const FormatKind kind : members) {
+                if (!options.search.type_system.contains(kind)) continue;
+                const FpFormat candidate = format_of(kind);
+                if (candidate == original) continue;
+                current.set(sr.name, candidate);
+                const Cost cost = platform_cost(app, current, options);
+                // Energy must strictly improve; quality is re-verified on
+                // every input set before accepting (the expensive check
+                // runs only on otherwise-improving moves).
+                if (cost.energy_pj < best_cost.energy_pj &&
+                    meets_everywhere(app, current, options)) {
+                    best = candidate;
+                    best_cost = cost;
+                }
+            }
+            current.set(sr.name, best);
+            if (!(best == original)) {
+                current_cost = best_cost;
+                ++result.moves_accepted;
+                improved = true;
+            }
+        }
+        if (!improved) break;
+    }
+
+    result.config = current;
+    result.tuned_energy_pj = current_cost.energy_pj;
+    result.tuned_casts = platform_cost(app, current, options).casts;
+    return result;
+}
+
+} // namespace tp::tuning

@@ -1,0 +1,45 @@
+// Cast-aware precision tuning — the paper's first future-work item
+// (Section VI): "the study of new techniques of precision tuning, that
+// take into account the costs of casts with the aim to formulate a
+// multi-objective optimization problem."
+//
+// DistributedSearch minimizes precision bits per variable and nothing
+// else; the paper shows (PCA, Fig. 6/7) that the casts this introduces
+// can push cycle and energy counts ABOVE the binary32 baseline. This pass
+// post-processes a DistributedSearch binding with a greedy local search
+// whose objective is the *simulated platform energy*: it evaluates, for
+// each variable, re-binding to each other member format of the type system
+// (typically promoting a variable to its neighbours' format so a cast
+// chain disappears), accepts the move only when the quality requirement
+// still holds on every input set AND total energy decreases, and repeats
+// until a fixpoint.
+#pragma once
+
+#include "apps/app.hpp"
+#include "sim/platform.hpp"
+#include "tuning/search.hpp"
+
+namespace tp::tuning {
+
+struct CastAwareOptions {
+    SearchOptions search;      // phase 1: plain DistributedSearch
+    bool simd = true;          // platform configuration for the cost oracle
+    int max_rounds = 4;        // greedy sweeps over all variables
+    unsigned cost_input_set = 0; // workload used for energy evaluation
+};
+
+struct CastAwareResult {
+    TuningResult base;             // the DistributedSearch starting point
+    apps::TypeConfig config;       // the cast-aware binding
+    double base_energy_pj = 0.0;   // platform energy of the base binding
+    double tuned_energy_pj = 0.0;  // platform energy after the pass
+    std::uint64_t base_casts = 0;
+    std::uint64_t tuned_casts = 0;
+    int moves_accepted = 0;
+};
+
+/// Runs DistributedSearch, then the cast-aware refinement.
+[[nodiscard]] CastAwareResult cast_aware_search(apps::App& app,
+                                                const CastAwareOptions& options);
+
+} // namespace tp::tuning

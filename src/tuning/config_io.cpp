@@ -1,0 +1,52 @@
+#include "tuning/config_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "types/type_system.hpp"
+
+namespace tp::tuning {
+
+PrecisionConfig read_precision_config(std::istream& is) {
+    PrecisionConfig config;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream fields{line};
+        std::string name;
+        if (!(fields >> name)) continue; // blank/comment line
+        int bits = 0;
+        if (!(fields >> bits)) {
+            throw std::runtime_error("precision config line " +
+                                     std::to_string(line_no) +
+                                     ": missing precision bits");
+        }
+        if (bits < 1 || bits > kMaxPrecisionBits) {
+            throw std::runtime_error("precision config line " +
+                                     std::to_string(line_no) +
+                                     ": precision out of range [1, 24]");
+        }
+        std::string extra;
+        if (fields >> extra) {
+            throw std::runtime_error("precision config line " +
+                                     std::to_string(line_no) +
+                                     ": trailing tokens");
+        }
+        config[name] = bits;
+    }
+    return config;
+}
+
+void write_precision_config(std::ostream& os, const PrecisionConfig& config) {
+    os << "# <signal> <precision-bits>\n";
+    for (const auto& [name, bits] : config) {
+        os << name << ' ' << bits << '\n';
+    }
+}
+
+} // namespace tp::tuning

@@ -1,0 +1,26 @@
+// Precision-configuration files, in the contract the paper describes for
+// DistributedSearch: "the configuration file should include a list of
+// numbers, which correspond to the precision bits used for program
+// variables", and the target program "is able to read the configuration
+// file to tune the precision of its variables accordingly".
+//
+// Format: one `<signal-name> <precision-bits>` pair per line; '#' starts a
+// comment. Signal order is not significant.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace tp::tuning {
+
+using PrecisionConfig = std::map<std::string, int>;
+
+/// Parses a configuration stream; throws std::runtime_error on malformed
+/// lines or out-of-range precisions.
+[[nodiscard]] PrecisionConfig read_precision_config(std::istream& is);
+
+/// Writes a configuration in the same format.
+void write_precision_config(std::ostream& os, const PrecisionConfig& config);
+
+} // namespace tp::tuning

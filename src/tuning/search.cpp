@@ -1,0 +1,208 @@
+#include "tuning/search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tuning/quality.hpp"
+
+namespace tp::tuning {
+namespace {
+
+/// One prepared input set: the workload index and its exact output.
+struct InputSet {
+    unsigned index = 0;
+    std::vector<double> golden;
+};
+
+class Searcher {
+public:
+    Searcher(apps::App& app, const SearchOptions& options)
+        : app_(app), options_(options) {
+        for (const apps::SignalSpec& spec : app.signals()) {
+            names_.push_back(spec.name);
+            elements_.push_back(spec.elements);
+        }
+        for (unsigned set : options.input_sets) {
+            sets_.push_back(InputSet{set, app_.golden(set)});
+        }
+    }
+
+    TuningResult run() {
+        const std::size_t n = names_.size();
+        std::vector<int> joined(n, 1);
+
+        // Phase 1: independent search per input set; Phase 2 joins by
+        // taking the per-variable maximum (the "statistical refinement").
+        for (const InputSet& set : sets_) {
+            std::vector<int> bits = search_one_set(set);
+            for (std::size_t i = 0; i < n; ++i) {
+                joined[i] = std::max(joined[i], bits[i]);
+            }
+        }
+
+        // The joined binding can still fail on some set (precision demands
+        // interact); repair by widening the narrowest signals first.
+        for (int round = 0; round < options_.max_refinement_rounds; ++round) {
+            const InputSet* failing = first_failing_set(joined, /*bound=*/false);
+            if (failing == nullptr) break;
+            widen_for_set(*failing, joined, /*bound=*/false);
+        }
+
+        // Final check under the *bound* formats: binding substitutes the
+        // band's concrete type for the trial format, which carries more
+        // mantissa bits — usually at least as accurate, but rounding is not
+        // monotone in precision, so the requirement is re-verified with the
+        // formats the program will actually ship with.
+        for (int round = 0; round < options_.max_refinement_rounds; ++round) {
+            const InputSet* failing = first_failing_set(joined, /*bound=*/true);
+            if (failing == nullptr) break;
+            widen_for_set(*failing, joined, /*bound=*/true);
+        }
+
+        TuningResult result;
+        result.type_system = options_.type_system.kind();
+        result.epsilon = options_.epsilon;
+        result.program_runs = runs_;
+        for (std::size_t i = 0; i < n; ++i) {
+            SignalResult sr;
+            sr.name = names_[i];
+            sr.elements = elements_[i];
+            sr.precision_bits = joined[i];
+            sr.bound = options_.type_system.format_for_precision(joined[i]);
+            result.signals.push_back(std::move(sr));
+        }
+        return result;
+    }
+
+private:
+    /// Executes the program with the given per-signal precision bits and
+    /// checks the quality requirement on one input set. With `bound` the
+    /// evaluation uses the concrete type each precision binds to instead
+    /// of the trial format.
+    bool trial(const InputSet& set, const std::vector<int>& bits,
+               bool bound = false) {
+        apps::TypeConfig config;
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+            const FpFormat format =
+                bound ? format_of(options_.type_system.format_for_precision(bits[i]))
+                      : options_.type_system.trial_format(bits[i]);
+            config.set(names_[i], format);
+        }
+        app_.prepare(set.index);
+        sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
+        const std::vector<double> out = app_.run(ctx, config);
+        ++runs_;
+        return meets_requirement(set.golden, out, options_.epsilon);
+    }
+
+    /// Greedy sweeps with per-variable binary search, one input set.
+    std::vector<int> search_one_set(const InputSet& set) {
+        const std::size_t n = names_.size();
+        std::vector<int> bits(n, kMaxPrecisionBits);
+        for (int pass = 0; pass < options_.max_passes; ++pass) {
+            bool changed = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                const int before = bits[i];
+                bits[i] = minimize_one(set, bits, i);
+                changed = changed || bits[i] != before;
+            }
+            if (!changed) break;
+        }
+        return bits;
+    }
+
+    /// Lowest precision of variable `i` that passes, holding the others
+    /// fixed. Quality is monotone in precision to a good approximation;
+    /// a final verification guards against the rare non-monotone case.
+    int minimize_one(const InputSet& set, std::vector<int>& bits, std::size_t i) {
+        const int original = bits[i];
+        int lo = 1;
+        int hi = original;
+        while (lo < hi) {
+            const int mid = lo + (hi - lo) / 2;
+            bits[i] = mid;
+            if (trial(set, bits)) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        bits[i] = lo;
+        if (lo == original || trial(set, bits)) return lo;
+        bits[i] = original; // non-monotone corner: keep the known-good value
+        return original;
+    }
+
+    const InputSet* first_failing_set(const std::vector<int>& bits, bool bound) {
+        for (const InputSet& set : sets_) {
+            if (!trial(set, bits, bound)) return &set;
+        }
+        return nullptr;
+    }
+
+    /// Widens precisions until `set` passes, preferring the narrowest
+    /// variables (those most likely responsible for the quality loss).
+    void widen_for_set(const InputSet& set, std::vector<int>& bits, bool bound) {
+        while (!trial(set, bits, bound)) {
+            std::size_t narrowest = names_.size();
+            for (std::size_t i = 0; i < bits.size(); ++i) {
+                if (bits[i] >= kMaxPrecisionBits) continue;
+                if (narrowest == names_.size() || bits[i] < bits[narrowest]) {
+                    narrowest = i;
+                }
+            }
+            if (narrowest == names_.size()) return; // everything maxed out
+            ++bits[narrowest];
+        }
+    }
+
+    apps::App& app_;
+    SearchOptions options_;
+    std::vector<std::string> names_;
+    std::vector<std::size_t> elements_;
+    std::vector<InputSet> sets_;
+    std::size_t runs_ = 0;
+};
+
+} // namespace
+
+apps::TypeConfig TuningResult::type_config() const {
+    apps::TypeConfig config;
+    for (const SignalResult& sr : signals) {
+        config.set(sr.name, format_of(sr.bound));
+    }
+    return config;
+}
+
+PrecisionConfig TuningResult::precision_config() const {
+    PrecisionConfig config;
+    for (const SignalResult& sr : signals) {
+        config[sr.name] = sr.precision_bits;
+    }
+    return config;
+}
+
+std::array<int, 4> TuningResult::variables_per_format() const {
+    std::array<int, 4> counts{};
+    for (const SignalResult& sr : signals) {
+        ++counts[static_cast<std::size_t>(sr.bound)];
+    }
+    return counts;
+}
+
+std::array<std::size_t, kMaxPrecisionBits + 1>
+TuningResult::locations_per_precision() const {
+    std::array<std::size_t, kMaxPrecisionBits + 1> histogram{};
+    for (const SignalResult& sr : signals) {
+        assert(sr.precision_bits >= 1 && sr.precision_bits <= kMaxPrecisionBits);
+        histogram[static_cast<std::size_t>(sr.precision_bits)] += sr.elements;
+    }
+    return histogram;
+}
+
+TuningResult distributed_search(apps::App& app, const SearchOptions& options) {
+    Searcher searcher{app, options};
+    return searcher.run();
+}
+
+} // namespace tp::tuning

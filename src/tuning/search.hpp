@@ -1,0 +1,68 @@
+// DistributedSearch — heuristic per-variable precision minimization
+// (reimplementation of the fpPrecisionTuning tool the paper uses).
+//
+// Contract, as described in the paper's Section II:
+//   * input: a runnable program, a target (exact) output, and a
+//     configuration of per-variable precision bits;
+//   * the tool runs the program many times, searching for the minimum
+//     precision of each variable that still satisfies the output-quality
+//     requirement, for a fixed input set;
+//   * a second phase performs a statistical refinement joining the
+//     bindings derived from different input sets.
+//
+// The dynamic range of each trial follows the type system's hypothesis map
+// (types/type_system.hpp): DistributedSearch itself never tunes exponent
+// widths, exactly as in the paper.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "tuning/config_io.hpp"
+#include "types/type_system.hpp"
+
+namespace tp::tuning {
+
+struct SearchOptions {
+    double epsilon = 1e-1;                 // output-quality requirement
+    TypeSystem type_system{TypeSystemKind::V2};
+    std::vector<unsigned> input_sets{0, 1, 2};
+    int max_refinement_rounds = 64;
+    int max_passes = 3; // greedy sweeps per input set
+};
+
+struct SignalResult {
+    std::string name;
+    std::size_t elements = 1;  // memory locations (Fig. 4 weights)
+    int precision_bits = kMaxPrecisionBits;
+    FormatKind bound = FormatKind::Binary32; // concrete type after binding
+};
+
+struct TuningResult {
+    std::vector<SignalResult> signals;
+    TypeSystemKind type_system = TypeSystemKind::V2;
+    double epsilon = 0.0;
+    std::size_t program_runs = 0; // trials executed by the search
+
+    /// Concrete per-signal formats (step 3 of the programming flow).
+    [[nodiscard]] apps::TypeConfig type_config() const;
+
+    /// Tuned precision bits per signal, as a config file would store them.
+    [[nodiscard]] PrecisionConfig precision_config() const;
+
+    /// Variables per bound type — one row of the paper's Table I.
+    [[nodiscard]] std::array<int, 4> variables_per_format() const;
+
+    /// Memory locations per minimum precision (index 1..24) — one row of
+    /// the paper's Fig. 4.
+    [[nodiscard]] std::array<std::size_t, kMaxPrecisionBits + 1>
+    locations_per_precision() const;
+};
+
+/// Runs the two-phase search on `app`. Deterministic for fixed options.
+[[nodiscard]] TuningResult distributed_search(apps::App& app,
+                                              const SearchOptions& options);
+
+} // namespace tp::tuning

@@ -1,0 +1,118 @@
+#include "types/encoding.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tp {
+namespace {
+
+/// Shifts `sig` right by `shift` bits with round-to-nearest-even.
+/// `shift` may exceed the word width (the result is then 0; ties cannot
+/// occur because sig < 2^63 implies sig / 2^shift < 1/2 for shift >= 64).
+std::uint64_t shift_right_rne(std::uint64_t sig, int shift) noexcept {
+    if (shift <= 0) return sig << -shift;
+    if (shift >= 64) return 0;
+    const std::uint64_t kept = sig >> shift;
+    const std::uint64_t rem = sig & ((1ULL << shift) - 1);
+    const std::uint64_t half = 1ULL << (shift - 1);
+    if (rem > half || (rem == half && (kept & 1))) return kept + 1;
+    return kept;
+}
+
+} // namespace
+
+std::uint64_t encode(double value, FpFormat format) noexcept {
+    assert(format.valid());
+    const int e = format.exp_bits;
+    const int m = format.mant_bits;
+    const std::uint64_t sign = std::signbit(value) ? 1ULL << (e + m) : 0;
+    const std::uint64_t exp_mask = (1ULL << e) - 1;
+
+    if (std::isnan(value)) {
+        // Canonical quiet NaN: exponent all ones, mantissa MSB set, sign +.
+        return (exp_mask << m) | (1ULL << (m - 1));
+    }
+    if (std::isinf(value)) return sign | (exp_mask << m);
+    if (value == 0.0) return sign; // preserves the sign of zero
+
+    // Split |value| = sig * 2^(exp - 53) with sig in [2^52, 2^53).
+    int exp = 0;
+    const double frac = std::frexp(std::fabs(value), &exp); // frac in [0.5, 1)
+    const auto sig = static_cast<std::uint64_t>(std::ldexp(frac, 53));
+    assert(sig >= (1ULL << 52) && sig < (1ULL << 53));
+    // Unbiased exponent of value when written as 1.xxx * 2^e_unb:
+    const int e_unb = exp - 1;
+
+    const int p = format.precision(); // significand bits incl. hidden
+    if (e_unb >= format.min_exp()) {
+        // Normal range (before rounding): keep the top p of 53 bits.
+        std::uint64_t rounded = shift_right_rne(sig, 53 - p);
+        int res_exp = e_unb;
+        if (rounded == (1ULL << p)) { // carry out of the significand
+            rounded >>= 1;
+            ++res_exp;
+        }
+        if (res_exp > format.max_exp()) return sign | (exp_mask << m); // overflow
+        const auto biased = static_cast<std::uint64_t>(res_exp + format.bias());
+        return sign | (biased << m) | (rounded & ((1ULL << m) - 1));
+    }
+
+    // Subnormal range: the result is mant_field * 2^(min_exp - m).
+    // Shift so that one unit of the mantissa field is one ulp.
+    const int shift = (53 - p) + (format.min_exp() - e_unb);
+    std::uint64_t mant_field = shift_right_rne(sig, shift);
+    if (mant_field >= (1ULL << m)) {
+        // Rounded up into the smallest normal.
+        return sign | (1ULL << m);
+    }
+    return sign | mant_field;
+}
+
+double decode(std::uint64_t bits, FpFormat format) noexcept {
+    assert(format.valid());
+    const int e = format.exp_bits;
+    const int m = format.mant_bits;
+    const std::uint64_t exp_mask = (1ULL << e) - 1;
+    const std::uint64_t mant = bits & ((1ULL << m) - 1);
+    const std::uint64_t biased = (bits >> m) & exp_mask;
+    const bool negative = ((bits >> (e + m)) & 1) != 0;
+
+    double magnitude = 0.0;
+    if (biased == exp_mask) {
+        if (mant != 0) return std::numeric_limits<double>::quiet_NaN();
+        magnitude = std::numeric_limits<double>::infinity();
+    } else if (biased == 0) {
+        magnitude = std::ldexp(static_cast<double>(mant), format.min_exp() - m);
+    } else {
+        const double sig = 1.0 + std::ldexp(static_cast<double>(mant), -m);
+        magnitude = std::ldexp(sig, static_cast<int>(biased) - format.bias());
+    }
+    return negative ? -magnitude : magnitude;
+}
+
+double quantize(double value, FpFormat format) noexcept {
+    return decode(encode(value, format), format);
+}
+
+bool representable(double value, FpFormat format) noexcept {
+    if (std::isnan(value)) return true; // NaN maps to NaN
+    const double q = quantize(value, format);
+    return q == value && std::signbit(q) == std::signbit(value);
+}
+
+double max_finite(FpFormat format) noexcept {
+    const int m = format.mant_bits;
+    const double sig = 2.0 - std::ldexp(1.0, -m);
+    return std::ldexp(sig, format.max_exp());
+}
+
+double min_normal(FpFormat format) noexcept {
+    return std::ldexp(1.0, format.min_exp());
+}
+
+double min_subnormal(FpFormat format) noexcept {
+    return std::ldexp(1.0, format.min_exp() - format.mant_bits);
+}
+
+} // namespace tp

@@ -1,0 +1,48 @@
+// Bit-level encoding between binary64 and arbitrary (e, m) formats.
+//
+// This is the "sanitizing" primitive of the FlexFloat approach (paper,
+// Section III-A): arithmetic is performed on a native type, then the result
+// is re-rounded to the exact binary representation of the target format.
+// encode() implements IEEE 754 round-to-nearest-even, gradual underflow,
+// overflow to infinity and NaN canonicalization; decode() is exact because
+// every (e <= 11, m <= 52) value is representable in binary64.
+#pragma once
+
+#include <cstdint>
+
+#include "types/format.hpp"
+
+namespace tp {
+
+/// Rounds `value` to `format` and returns the packed bit pattern
+/// (sign at bit e+m, exponent below it, mantissa in the low m bits).
+[[nodiscard]] std::uint64_t encode(double value, FpFormat format) noexcept;
+
+/// Expands a packed bit pattern of `format` to the exact binary64 value.
+/// NaN patterns map to a quiet NaN; infinities and signed zeros round-trip.
+[[nodiscard]] double decode(std::uint64_t bits, FpFormat format) noexcept;
+
+/// decode(encode(value)) — the value `format` hardware would produce when a
+/// binary64 intermediate result is written back to an (e, m) register.
+[[nodiscard]] double quantize(double value, FpFormat format) noexcept;
+
+/// True if `value` is exactly representable in `format`
+/// (i.e. quantize() is the identity on it).
+[[nodiscard]] bool representable(double value, FpFormat format) noexcept;
+
+/// Largest finite value of `format`.
+[[nodiscard]] double max_finite(FpFormat format) noexcept;
+
+/// Smallest positive normal value of `format`.
+[[nodiscard]] double min_normal(FpFormat format) noexcept;
+
+/// Smallest positive subnormal value of `format`.
+[[nodiscard]] double min_subnormal(FpFormat format) noexcept;
+
+/// Mask with the low width_bits() bits set; encode() results fit in it.
+[[nodiscard]] constexpr std::uint64_t bit_mask(FpFormat format) noexcept {
+    const int w = format.width_bits();
+    return w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+}
+
+} // namespace tp

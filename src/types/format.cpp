@@ -1,0 +1,25 @@
+#include "types/format.hpp"
+
+namespace tp {
+
+std::string_view name_of(FormatKind kind) noexcept {
+    switch (kind) {
+    case FormatKind::Binary8: return "binary8";
+    case FormatKind::Binary16: return "binary16";
+    case FormatKind::Binary16Alt: return "binary16alt";
+    case FormatKind::Binary32: return "binary32";
+    }
+    return "unknown";
+}
+
+bool kind_of(FpFormat format, FormatKind& out) noexcept {
+    for (FormatKind kind : kAllFormatKinds) {
+        if (format_of(kind) == format) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace tp

@@ -1,0 +1,110 @@
+// Floating-point format descriptors.
+//
+// A format is fully described by the width of its exponent field `e` and of
+// its stored mantissa (fraction) field `m`; the total width is 1 + e + m
+// (paper, Section III-A). The four formats of the paper's extended type
+// system (Fig. 1) are provided as named constants:
+//
+//   binary8      1 | 5 | 2    same dynamic range as binary16, less precision
+//   binary16     1 | 5 | 10   IEEE 754 half precision
+//   binary16alt  1 | 8 | 7    same dynamic range as binary32 (bfloat16-like)
+//   binary32     1 | 8 | 23   IEEE 754 single precision
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string_view>
+
+namespace tp {
+
+/// Static description of a sign/exponent/mantissa floating-point format.
+///
+/// Invariants: 1 <= exp_bits <= 11 and 1 <= mant_bits <= 52, so that every
+/// representable value (including subnormals) is exactly representable in an
+/// IEEE binary64, which the emulation layers use as the working type.
+struct FpFormat {
+    std::uint8_t exp_bits;
+    std::uint8_t mant_bits;
+
+    friend constexpr auto operator<=>(const FpFormat&, const FpFormat&) = default;
+
+    /// Total storage width in bits, including the sign.
+    [[nodiscard]] constexpr int width_bits() const noexcept {
+        return 1 + exp_bits + mant_bits;
+    }
+
+    /// Bytes a memory access of this format moves (rounded up to a power of
+    /// two, as a load/store unit would).
+    [[nodiscard]] constexpr int storage_bytes() const noexcept {
+        const int w = width_bits();
+        if (w <= 8) return 1;
+        if (w <= 16) return 2;
+        if (w <= 32) return 4;
+        return 8;
+    }
+
+    /// Exponent bias: 2^(e-1) - 1.
+    [[nodiscard]] constexpr int bias() const noexcept {
+        return (1 << (exp_bits - 1)) - 1;
+    }
+
+    /// Largest unbiased exponent of a normal number (= bias()).
+    [[nodiscard]] constexpr int max_exp() const noexcept { return bias(); }
+
+    /// Smallest unbiased exponent of a normal number (1 - bias()).
+    [[nodiscard]] constexpr int min_exp() const noexcept { return 1 - bias(); }
+
+    /// Significand precision in bits, including the hidden bit.
+    [[nodiscard]] constexpr int precision() const noexcept { return mant_bits + 1; }
+
+    /// Whether the format can be emulated bit-exactly through binary64
+    /// arithmetic followed by re-rounding (innocuous double rounding
+    /// requires 53 >= 2 * precision + 2).
+    [[nodiscard]] constexpr bool exact_via_double() const noexcept {
+        return exp_bits <= 11 && 2 * precision() + 2 <= 53;
+    }
+
+    /// True for the descriptor limits this library supports.
+    [[nodiscard]] constexpr bool valid() const noexcept {
+        return exp_bits >= 1 && exp_bits <= 11 && mant_bits >= 1 && mant_bits <= 52;
+    }
+};
+
+inline constexpr FpFormat kBinary8{5, 2};
+inline constexpr FpFormat kBinary16{5, 10};
+inline constexpr FpFormat kBinary16Alt{8, 7};
+inline constexpr FpFormat kBinary32{8, 23};
+inline constexpr FpFormat kBinary64{11, 52};
+
+/// The concrete formats of the paper's extended FP type system.
+enum class FormatKind : std::uint8_t {
+    Binary8 = 0,
+    Binary16 = 1,
+    Binary16Alt = 2,
+    Binary32 = 3,
+};
+
+inline constexpr std::array<FormatKind, 4> kAllFormatKinds{
+    FormatKind::Binary8, FormatKind::Binary16, FormatKind::Binary16Alt,
+    FormatKind::Binary32};
+
+/// Descriptor for a named format.
+[[nodiscard]] constexpr FpFormat format_of(FormatKind kind) noexcept {
+    switch (kind) {
+    case FormatKind::Binary8: return kBinary8;
+    case FormatKind::Binary16: return kBinary16;
+    case FormatKind::Binary16Alt: return kBinary16Alt;
+    case FormatKind::Binary32: return kBinary32;
+    }
+    return kBinary32;
+}
+
+/// Human-readable name ("binary16alt", ...).
+[[nodiscard]] std::string_view name_of(FormatKind kind) noexcept;
+
+/// Reverse lookup of a named format descriptor; returns true for the four
+/// kinds above and fills `out`.
+[[nodiscard]] bool kind_of(FpFormat format, FormatKind& out) noexcept;
+
+} // namespace tp

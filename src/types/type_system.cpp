@@ -1,0 +1,17 @@
+#include "types/type_system.hpp"
+
+// All members are constexpr and defined in the header; this translation unit
+// exists so the library has a home for future non-inline additions and so the
+// CMake target has at least one source.
+namespace tp {
+static_assert(kTypeSystemV1.format_for_precision(3) == FormatKind::Binary8);
+static_assert(kTypeSystemV1.format_for_precision(4) == FormatKind::Binary16);
+static_assert(kTypeSystemV1.format_for_precision(11) == FormatKind::Binary16);
+static_assert(kTypeSystemV1.format_for_precision(12) == FormatKind::Binary32);
+static_assert(kTypeSystemV2.format_for_precision(4) == FormatKind::Binary16Alt);
+static_assert(kTypeSystemV2.format_for_precision(8) == FormatKind::Binary16Alt);
+static_assert(kTypeSystemV2.format_for_precision(9) == FormatKind::Binary16);
+static_assert(kTypeSystemV2.format_for_precision(12) == FormatKind::Binary32);
+static_assert(kTypeSystemV2.trial_format(8) == FpFormat{8, 7});
+static_assert(kTypeSystemV2.trial_format(3) == FpFormat{5, 2});
+} // namespace tp

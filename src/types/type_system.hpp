@@ -1,0 +1,88 @@
+// The extended transprecision FP type systems and the precision-to-range
+// hypothesis map (paper, Section III-A).
+//
+// DistributedSearch tunes only the *precision* of each variable — expressed
+// in significand bits including the hidden bit, so binary8 provides 3
+// precision bits (2 explicit), binary16 provides 11, binary16alt 8 and
+// binary32 24. The dynamic range (exponent width) is fixed by a map from
+// precision intervals to exponent widths. The paper evaluates two systems:
+//
+//   V1 = { binary8, binary16, binary32 }
+//        precision (0,3] -> e=5 (binary8), (3,11] -> e=5 (binary16),
+//        above 11 -> e=8 (binary32)
+//   V2 = V1 + { binary16alt }
+//        precision (0,3] -> e=5 (binary8), (3,8] -> e=8 (binary16alt),
+//        (8,11] -> e=5 (binary16), above 11 -> e=8 (binary32)
+#pragma once
+
+#include <string_view>
+
+#include "types/format.hpp"
+
+namespace tp {
+
+enum class TypeSystemKind : std::uint8_t { V1 = 0, V2 = 1 };
+
+[[nodiscard]] constexpr std::string_view name_of(TypeSystemKind kind) noexcept {
+    return kind == TypeSystemKind::V1 ? "V1" : "V2";
+}
+
+/// Maximum precision (significand bits, hidden bit included) the tuner
+/// explores; equal to the binary32 precision, the widest type of both
+/// systems.
+inline constexpr int kMaxPrecisionBits = 24;
+
+class TypeSystem {
+public:
+    explicit constexpr TypeSystem(TypeSystemKind kind) noexcept : kind_(kind) {}
+
+    [[nodiscard]] constexpr TypeSystemKind kind() const noexcept { return kind_; }
+    [[nodiscard]] constexpr std::string_view name() const noexcept {
+        return name_of(kind_);
+    }
+
+    /// Concrete format a variable tuned to `precision_bits` binds to
+    /// (the colour bands of the paper's Fig. 4).
+    [[nodiscard]] constexpr FormatKind format_for_precision(int precision_bits) const noexcept {
+        if (precision_bits <= 3) return FormatKind::Binary8;
+        if (kind_ == TypeSystemKind::V2) {
+            if (precision_bits <= 8) return FormatKind::Binary16Alt;
+            if (precision_bits <= 11) return FormatKind::Binary16;
+            return FormatKind::Binary32;
+        }
+        if (precision_bits <= 11) return FormatKind::Binary16;
+        return FormatKind::Binary32;
+    }
+
+    /// The dynamic-range hypothesis: exponent width assumed while the tuner
+    /// evaluates a candidate precision.
+    [[nodiscard]] constexpr int exp_bits_for_precision(int precision_bits) const noexcept {
+        return format_of(format_for_precision(precision_bits)).exp_bits;
+    }
+
+    /// Format used during a tuning trial: hypothesis exponent width plus the
+    /// candidate precision (stored mantissa = precision - 1 because of the
+    /// hidden bit).
+    [[nodiscard]] constexpr FpFormat trial_format(int precision_bits) const noexcept {
+        return FpFormat{static_cast<std::uint8_t>(exp_bits_for_precision(precision_bits)),
+                        static_cast<std::uint8_t>(precision_bits - 1)};
+    }
+
+    /// Number of member formats (3 for V1, 4 for V2).
+    [[nodiscard]] constexpr int member_count() const noexcept {
+        return kind_ == TypeSystemKind::V2 ? 4 : 3;
+    }
+
+    /// Whether `kind` belongs to this type system.
+    [[nodiscard]] constexpr bool contains(FormatKind kind) const noexcept {
+        return kind != FormatKind::Binary16Alt || kind_ == TypeSystemKind::V2;
+    }
+
+private:
+    TypeSystemKind kind_;
+};
+
+inline constexpr TypeSystem kTypeSystemV1{TypeSystemKind::V1};
+inline constexpr TypeSystem kTypeSystemV2{TypeSystemKind::V2};
+
+} // namespace tp

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// A self-contained xoshiro256** implementation is used instead of <random>
+// engines so that workload generation is bit-reproducible across standard
+// library implementations (the distributions in <random> are not portable).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tp::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm).
+/// Deterministic, splittable via `jump`-free reseeding, and fast enough to
+/// generate multi-megabyte workloads during benchmarking.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1) with 53 random bits.
+    constexpr double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    constexpr double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>((*this)() % span);
+    }
+
+    /// Standard normal via Box-Muller (only one value per pair is used; the
+    /// simplicity is worth more than the discarded half here).
+    double normal() noexcept;
+
+    double normal(double mean, double stddev) noexcept {
+        return mean + stddev * normal();
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+inline double Xoshiro256::normal() noexcept {
+    // Box-Muller transform; u is kept away from 0 so log() stays finite.
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0x1.0p-60);
+    const double v = uniform();
+    // 2*pi spelled out to avoid depending on non-standard M_PI in a header.
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    // std::sqrt/std::cos are not constexpr-friendly on all toolchains; this
+    // function is intentionally non-constexpr.
+    return __builtin_sqrt(-2.0 * __builtin_log(u)) * __builtin_cos(two_pi * v);
+}
+
+} // namespace tp::util

@@ -1,0 +1,85 @@
+#include "util/statistics.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tp::util {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double rms(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) acc += x * x;
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double sqnr(std::span<const double> reference, std::span<const double> approx) {
+    assert(reference.size() == approx.size());
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        signal += reference[i] * reference[i];
+        const double d = reference[i] - approx[i];
+        noise += d * d;
+    }
+    if (noise == 0.0) return std::numeric_limits<double>::infinity();
+    return signal / noise;
+}
+
+double relative_rms_error(std::span<const double> reference,
+                          std::span<const double> approx) {
+    assert(reference.size() == approx.size());
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        signal += reference[i] * reference[i];
+        const double d = reference[i] - approx[i];
+        // A NaN anywhere in the approximation means the configuration is
+        // unusable: report infinite error rather than letting NaN poison
+        // the comparison operators in the search loop.
+        if (std::isnan(d)) return std::numeric_limits<double>::infinity();
+        noise += d * d;
+    }
+    if (signal == 0.0) {
+        return noise == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+    return std::sqrt(noise / signal);
+}
+
+double geometric_mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double log_acc = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        log_acc += std::log(x);
+    }
+    return std::exp(log_acc / static_cast<double>(xs.size()));
+}
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+} // namespace tp::util

@@ -1,0 +1,52 @@
+// Small numeric helpers shared by the tuning and benchmarking layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tp::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Root-mean-square of a span; returns 0 for an empty span.
+double rms(std::span<const double> xs);
+
+/// Signal-to-quantization-noise ratio between a reference signal and a
+/// degraded approximation, as a plain power ratio (not dB):
+///     SQNR = sum(ref^2) / sum((ref - approx)^2)
+/// Returns +inf when the noise power is zero. The sizes must match.
+double sqnr(std::span<const double> reference, std::span<const double> approx);
+
+/// Relative root-mean-square error: rms(ref - approx) / rms(ref).
+/// This is the quantity the precision requirement epsilon constrains
+/// (epsilon = 1e-1 means the noise RMS may be at most 10% of signal RMS,
+/// i.e. SQNR >= 1/epsilon^2). Returns +inf if the reference is all zero
+/// while the approximation is not, and 0 if both are all zero.
+double relative_rms_error(std::span<const double> reference,
+                          std::span<const double> approx);
+
+/// Geometric mean; returns 0 for an empty span. All inputs must be > 0.
+double geometric_mean(std::span<const double> xs);
+
+/// Welford-style running mean/variance accumulator.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tp::util

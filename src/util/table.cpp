@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string Table::percent(double ratio, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << (ratio * 100.0) << '%';
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string{};
+            os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << cell
+               << " |";
+        }
+        os << '\n';
+    };
+
+    auto print_rule = [&] {
+        os << '+';
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            os << std::string(width[c] + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+
+    print_rule();
+    print_row(header_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+    print_rule();
+}
+
+} // namespace tp::util

@@ -1,0 +1,32 @@
+// Minimal fixed-width ASCII table printer for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// rows of text; this helper keeps the formatting consistent across them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tp::util {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Appends a data row; the row is padded/truncated to the header width.
+    void add_row(std::vector<std::string> row);
+
+    /// Convenience: formats a double with the given precision.
+    static std::string num(double value, int precision = 3);
+    /// Convenience: formats a ratio as a percentage string, e.g. "97.2%".
+    static std::string percent(double ratio, int precision = 1);
+
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tp::util

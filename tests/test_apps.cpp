@@ -1,0 +1,194 @@
+#include "apps/app.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+#include "tuning/quality.hpp"
+
+namespace {
+
+using tp::apps::App;
+using tp::apps::make_app;
+using tp::sim::TpContext;
+
+class AppsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppsTest, SignalsAreWellFormed) {
+    const auto app = make_app(GetParam());
+    const auto signals = app->signals();
+    EXPECT_GE(signals.size(), 3u);
+    std::set<std::string> names;
+    for (const auto& spec : signals) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GE(spec.elements, 1u);
+        EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    }
+}
+
+TEST_P(AppsTest, GoldenIsDeterministic) {
+    const auto app = make_app(GetParam());
+    const auto out1 = app->golden(0);
+    const auto out2 = app->golden(0);
+    ASSERT_EQ(out1.size(), out2.size());
+    for (std::size_t i = 0; i < out1.size(); ++i) {
+        EXPECT_EQ(out1[i], out2[i]) << i;
+    }
+    EXPECT_GE(out1.size(), 8u); // enough samples for a stable SQNR
+}
+
+TEST_P(AppsTest, InputSetsDiffer) {
+    const auto app = make_app(GetParam());
+    const auto out0 = app->golden(0);
+    const auto out1 = app->golden(1);
+    ASSERT_EQ(out0.size(), out1.size());
+    bool any_different = false;
+    for (std::size_t i = 0; i < out0.size(); ++i) {
+        any_different = any_different || out0[i] != out1[i];
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST_P(AppsTest, OutputsAreFinite) {
+    const auto app = make_app(GetParam());
+    for (unsigned set = 0; set < 3; ++set) {
+        for (const double v : app->golden(set)) {
+            EXPECT_TRUE(std::isfinite(v));
+        }
+    }
+}
+
+TEST_P(AppsTest, Binary32RunIsCloseToGolden) {
+    const auto app = make_app(GetParam());
+    const auto golden = app->golden(0);
+    app->prepare(0);
+    TpContext ctx{TpContext::Config{.trace = false}};
+    const auto out = app->run(ctx, app->uniform_config(tp::kBinary32));
+    ASSERT_EQ(out.size(), golden.size());
+    EXPECT_LE(tp::tuning::output_error(golden, out), 1e-3)
+        << "binary32 should be a near-exact baseline";
+}
+
+TEST_P(AppsTest, TracedAndUntracedRunsAgree) {
+    const auto app = make_app(GetParam());
+    app->prepare(0);
+    TpContext traced;
+    const auto out_traced = app->run(traced, app->uniform_config(tp::kBinary32));
+    app->prepare(0);
+    TpContext untraced{TpContext::Config{.trace = false}};
+    const auto out_untraced = app->run(untraced, app->uniform_config(tp::kBinary32));
+    ASSERT_EQ(out_traced.size(), out_untraced.size());
+    for (std::size_t i = 0; i < out_traced.size(); ++i) {
+        EXPECT_EQ(out_traced[i], out_untraced[i]) << i;
+    }
+    EXPECT_FALSE(traced.take_program(false).instrs.empty());
+}
+
+TEST_P(AppsTest, TraceSimulates) {
+    const auto app = make_app(GetParam());
+    app->prepare(0);
+    TpContext ctx;
+    (void)app->run(ctx, app->uniform_config(tp::kBinary32));
+    const auto report = tp::sim::simulate(ctx.take_program(true));
+    EXPECT_GT(report.cycles, 0u);
+    EXPECT_GT(report.fp_ops + report.fp_simd_lane_ops, 0u);
+    EXPECT_GT(report.mem_accesses, 0u);
+    EXPECT_GT(report.energy.total(), 0.0);
+}
+
+TEST_P(AppsTest, UniformBinary32HasNoCasts) {
+    const auto app = make_app(GetParam());
+    app->prepare(0);
+    TpContext ctx;
+    (void)app->run(ctx, app->uniform_config(tp::kBinary32));
+    const auto report = tp::sim::simulate(ctx.take_program(false));
+    // from_int conversions may exist; FP->FP casts must not.
+    const auto program_casts = report.casts;
+    // Count FpCast instructions that are genuine FP->FP casts by rerunning.
+    app->prepare(0);
+    TpContext ctx2;
+    (void)app->run(ctx2, app->uniform_config(tp::kBinary32));
+    std::uint64_t fp_casts = 0;
+    for (const auto& instr : ctx2.take_program(false).instrs) {
+        if (instr.kind == tp::sim::InstrKind::FpCast &&
+            instr.op != tp::FpOp::FromInt && instr.op != tp::FpOp::ToInt &&
+            !(instr.fmt == instr.fmt2)) {
+            ++fp_casts;
+        }
+    }
+    EXPECT_EQ(fp_casts, 0u);
+    (void)program_casts;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppsTest,
+                         ::testing::Values("jacobi", "knn", "pca", "dwt", "svm",
+                                           "conv"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Apps, RegistryListsSix) {
+    EXPECT_EQ(tp::apps::app_names().size(), 6u);
+    EXPECT_EQ(tp::apps::make_all_apps().size(), 6u);
+}
+
+TEST(Apps, UnknownNameThrows) {
+    EXPECT_THROW((void)make_app("nope"), std::out_of_range);
+}
+
+TEST(Apps, PcaManualVectorizationVariantExists) {
+    const auto app = make_app("pca-manual-vec");
+    EXPECT_EQ(app->name(), "pca-manual-vec");
+    // Outputs match the scalar PCA bit-for-bit (vectorization only changes
+    // the schedule, not the values).
+    const auto scalar = make_app("pca");
+    const auto a = app->golden(0);
+    const auto b = scalar->golden(0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Apps, PcaManualVectorizationProducesSimdGroups) {
+    const auto app = make_app("pca-manual-vec");
+    app->prepare(0);
+    TpContext ctx;
+    tp::apps::TypeConfig config = app->uniform_config(tp::kBinary16);
+    (void)app->run(ctx, config);
+    const auto program = ctx.take_program(true);
+    EXPECT_FALSE(program.groups.empty());
+
+    const auto scalar_app = make_app("pca");
+    scalar_app->prepare(0);
+    TpContext scalar_ctx;
+    (void)scalar_app->run(scalar_ctx, scalar_app->uniform_config(tp::kBinary16));
+    EXPECT_TRUE(scalar_ctx.take_program(true).groups.empty());
+}
+
+TEST(Apps, JacobiStaysScalarButKnnVectorizes) {
+    const auto jacobi = make_app("jacobi");
+    jacobi->prepare(0);
+    TpContext jctx;
+    (void)jacobi->run(jctx, jacobi->uniform_config(tp::kBinary16));
+    EXPECT_TRUE(jctx.take_program(true).groups.empty());
+
+    const auto knn = make_app("knn");
+    knn->prepare(0);
+    TpContext kctx;
+    (void)knn->run(kctx, knn->uniform_config(tp::kBinary8));
+    EXPECT_FALSE(kctx.take_program(true).groups.empty());
+}
+
+TEST(Apps, NarrowFormatsDegradeGracefully) {
+    // An all-binary8 run may be inaccurate but must not crash, and the
+    // binary16alt run must not saturate to infinity on PCA's wide-range
+    // data (binary16 may).
+    auto pca = make_app("pca");
+    const auto golden = pca->golden(0);
+    pca->prepare(0);
+    TpContext ctx{TpContext::Config{.trace = false}};
+    const auto alt_out = pca->run(ctx, pca->uniform_config(tp::kBinary16Alt));
+    ASSERT_EQ(alt_out.size(), golden.size());
+    for (const double v : alt_out) EXPECT_TRUE(std::isfinite(v));
+}
+
+} // namespace

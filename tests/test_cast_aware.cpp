@@ -1,0 +1,81 @@
+#include "tuning/cast_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "tuning/quality.hpp"
+
+namespace {
+
+using tp::tuning::cast_aware_search;
+using tp::tuning::CastAwareOptions;
+
+CastAwareOptions fast_options(const char* unused = nullptr) {
+    (void)unused;
+    CastAwareOptions options;
+    options.search.epsilon = 1e-2;
+    options.search.type_system = tp::TypeSystem{tp::TypeSystemKind::V2};
+    options.search.input_sets = {0, 1};
+    options.search.max_passes = 2;
+    options.max_rounds = 2;
+    return options;
+}
+
+TEST(CastAware, NeverIncreasesEnergy) {
+    for (const auto& name : {"pca", "dwt", "knn"}) {
+        auto app = tp::apps::make_app(name);
+        const auto result = cast_aware_search(*app, fast_options());
+        EXPECT_LE(result.tuned_energy_pj, result.base_energy_pj) << name;
+    }
+}
+
+TEST(CastAware, QualityStillHoldsOnAllTrainingSets) {
+    auto app = tp::apps::make_app("pca");
+    const auto options = fast_options();
+    const auto result = cast_aware_search(*app, options);
+    for (unsigned set : options.search.input_sets) {
+        const auto golden = app->golden(set);
+        app->prepare(set);
+        tp::sim::TpContext ctx{tp::sim::TpContext::Config{.trace = false}};
+        const auto out = app->run(ctx, result.config);
+        EXPECT_TRUE(tp::tuning::meets_requirement(golden, out,
+                                                  options.search.epsilon))
+            << "set " << set;
+    }
+}
+
+TEST(CastAware, ConfigCoversEverySignal) {
+    auto app = tp::apps::make_app("svm");
+    const auto result = cast_aware_search(*app, fast_options());
+    for (const auto& spec : app->signals()) {
+        EXPECT_NO_THROW((void)result.config.at(spec.name));
+    }
+    EXPECT_EQ(result.base.signals.size(), app->signals().size());
+}
+
+TEST(CastAware, RespectsTypeSystemMembership) {
+    auto app = tp::apps::make_app("conv");
+    auto options = fast_options();
+    options.search.type_system = tp::TypeSystem{tp::TypeSystemKind::V1};
+    const auto result = cast_aware_search(*app, options);
+    for (const auto& [name, format] : result.config.formats()) {
+        EXPECT_NE(format, tp::kBinary16Alt) << name << ": V1 has no binary16alt";
+    }
+}
+
+TEST(CastAware, MovesReportedConsistently) {
+    auto app = tp::apps::make_app("pca");
+    const auto result = cast_aware_search(*app, fast_options());
+    int changed = 0;
+    for (const auto& sr : result.base.signals) {
+        if (!(result.config.at(sr.name) == tp::format_of(sr.bound))) ++changed;
+    }
+    // Every differing signal required at least one accepted move (a signal
+    // can move more than once across rounds).
+    EXPECT_LE(changed, result.moves_accepted);
+    if (result.moves_accepted == 0) {
+        EXPECT_EQ(result.tuned_energy_pj, result.base_energy_pj);
+    }
+}
+
+} // namespace

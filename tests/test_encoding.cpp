@@ -1,0 +1,172 @@
+#include "types/encoding.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "types/format.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using tp::decode;
+using tp::encode;
+using tp::FpFormat;
+using tp::quantize;
+
+TEST(Encoding, Binary32MatchesNativeFloat) {
+    // For the IEEE single format, encode() must agree bit-for-bit with the
+    // hardware float conversion.
+    tp::util::Xoshiro256 rng{123};
+    for (int i = 0; i < 200000; ++i) {
+        const double v = rng.normal(0.0, 1e10);
+        const auto f = static_cast<float>(v);
+        const auto expected = std::bit_cast<std::uint32_t>(f);
+        const auto got = static_cast<std::uint32_t>(encode(v, tp::kBinary32));
+        ASSERT_EQ(got, expected) << "value " << v;
+        ASSERT_EQ(quantize(v, tp::kBinary32), static_cast<double>(f));
+    }
+}
+
+TEST(Encoding, Binary32SubnormalsMatchNativeFloat) {
+    tp::util::Xoshiro256 rng{77};
+    for (int i = 0; i < 100000; ++i) {
+        // Values around the float subnormal range [~1e-45, ~1e-38].
+        const double v = rng.uniform(-1.0, 1.0) * std::ldexp(1.0, -126 - (i % 30));
+        const auto f = static_cast<float>(v);
+        const auto expected = std::bit_cast<std::uint32_t>(f);
+        const auto got = static_cast<std::uint32_t>(encode(v, tp::kBinary32));
+        ASSERT_EQ(got, expected) << "value " << v;
+    }
+}
+
+TEST(Encoding, ZeroKeepsSign) {
+    EXPECT_EQ(encode(0.0, tp::kBinary16), 0u);
+    EXPECT_EQ(encode(-0.0, tp::kBinary16), 0x8000u);
+    EXPECT_EQ(decode(0x8000u, tp::kBinary16), 0.0);
+    EXPECT_TRUE(std::signbit(decode(0x8000u, tp::kBinary16)));
+}
+
+TEST(Encoding, InfinityAndOverflow) {
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(encode(inf, tp::kBinary16), 0x7c00u);
+    EXPECT_EQ(encode(-inf, tp::kBinary16), 0xfc00u);
+    // 65504 is the largest binary16 value; anything above the rounding
+    // midpoint to 65536 overflows to infinity.
+    EXPECT_EQ(encode(65504.0, tp::kBinary16), 0x7bffu);
+    EXPECT_EQ(encode(65520.0, tp::kBinary16), 0x7c00u); // ties to even -> inf
+    EXPECT_EQ(encode(65519.9, tp::kBinary16), 0x7bffu);
+    EXPECT_EQ(encode(1e30, tp::kBinary16), 0x7c00u);
+    EXPECT_EQ(encode(-1e30, tp::kBinary16), 0xfc00u);
+}
+
+TEST(Encoding, NaNCanonicalization) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::uint64_t bits = encode(nan, tp::kBinary16);
+    EXPECT_EQ(bits, 0x7e00u); // exponent all ones, mantissa MSB
+    EXPECT_TRUE(std::isnan(decode(bits, tp::kBinary16)));
+}
+
+TEST(Encoding, KnownBinary16Patterns) {
+    EXPECT_EQ(encode(1.0, tp::kBinary16), 0x3c00u);
+    EXPECT_EQ(encode(-2.0, tp::kBinary16), 0xc000u);
+    EXPECT_EQ(encode(0.5, tp::kBinary16), 0x3800u);
+    EXPECT_EQ(encode(1.5, tp::kBinary16), 0x3e00u);
+    // Smallest binary16 normal and subnormal.
+    EXPECT_EQ(encode(std::ldexp(1.0, -14), tp::kBinary16), 0x0400u);
+    EXPECT_EQ(encode(std::ldexp(1.0, -24), tp::kBinary16), 0x0001u);
+}
+
+TEST(Encoding, RoundToNearestEvenTies) {
+    // 1 + 2^-11 is exactly between 1.0 and 1+2^-10 in binary16: ties to even.
+    EXPECT_EQ(encode(1.0 + std::ldexp(1.0, -11), tp::kBinary16), 0x3c00u);
+    // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: ties to even (mantissa 2).
+    EXPECT_EQ(encode(1.0 + 3 * std::ldexp(1.0, -11), tp::kBinary16), 0x3c02u);
+    // Slightly above the midpoint rounds up.
+    EXPECT_EQ(encode(1.0 + std::ldexp(1.0, -11) + std::ldexp(1.0, -20),
+                     tp::kBinary16),
+              0x3c01u);
+}
+
+TEST(Encoding, SubnormalRounding) {
+    const FpFormat f = tp::kBinary16;
+    const double ulp = std::ldexp(1.0, -24); // binary16 subnormal step
+    // Half an ulp below the smallest subnormal rounds to zero (tie to even).
+    EXPECT_EQ(encode(ulp / 2, f), 0u);
+    EXPECT_EQ(encode(ulp / 2 + ulp / 1024, f), 1u);
+    // 1.5 ulp ties to 2 ulp (even).
+    EXPECT_EQ(encode(1.5 * ulp, f), 2u);
+    // 2.5 ulp ties to 2 ulp (even).
+    EXPECT_EQ(encode(2.5 * ulp, f), 2u);
+    // Largest subnormal + half step rounds up into the smallest normal.
+    const double max_sub = std::ldexp(1023.0, -24);
+    EXPECT_EQ(encode(max_sub, f), 0x03ffu);
+    EXPECT_EQ(encode(max_sub + ulp / 2, f), 0x0400u);
+}
+
+TEST(Encoding, DecodeEncodeRoundTripAllBinary8Patterns) {
+    // Exhaustive: all 256 binary8 patterns round-trip through double.
+    for (std::uint64_t bits = 0; bits < 256; ++bits) {
+        const double v = decode(bits, tp::kBinary8);
+        if (std::isnan(v)) continue; // NaNs canonicalize, no exact round-trip
+        EXPECT_EQ(encode(v, tp::kBinary8), bits) << "pattern " << bits;
+    }
+}
+
+TEST(Encoding, DecodeEncodeRoundTripAllBinary16Patterns) {
+    for (std::uint64_t bits = 0; bits < 65536; ++bits) {
+        const double v = decode(bits, tp::kBinary16);
+        if (std::isnan(v)) continue; // NaNs canonicalize
+        EXPECT_EQ(encode(v, tp::kBinary16), bits) << "pattern " << bits;
+    }
+}
+
+TEST(Encoding, QuantizeIsIdempotent) {
+    tp::util::Xoshiro256 rng{9};
+    const FpFormat formats[] = {tp::kBinary8, tp::kBinary16, tp::kBinary16Alt,
+                                tp::kBinary32, FpFormat{6, 9}, FpFormat{3, 4}};
+    for (const FpFormat f : formats) {
+        for (int i = 0; i < 20000; ++i) {
+            const double v = rng.normal(0.0, std::ldexp(1.0, rng.uniform_int(-30, 30)));
+            const double q = quantize(v, f);
+            ASSERT_EQ(quantize(q, f), q) << "format e=" << int{f.exp_bits}
+                                         << " m=" << int{f.mant_bits} << " v=" << v;
+        }
+    }
+}
+
+TEST(Encoding, QuantizeErrorBoundedByHalfUlp) {
+    tp::util::Xoshiro256 rng{31};
+    const FpFormat f = tp::kBinary16Alt;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = rng.uniform(-100.0, 100.0);
+        const double q = quantize(v, f);
+        // Relative error of RNE is at most 2^-(m+1) for normal values.
+        if (std::fabs(v) >= tp::min_normal(f)) {
+            ASSERT_LE(std::fabs(q - v),
+                      std::ldexp(std::fabs(v), -(f.mant_bits + 1)) * (1 + 1e-12));
+        }
+    }
+}
+
+TEST(Encoding, ExtremaHelpers) {
+    EXPECT_EQ(tp::max_finite(tp::kBinary16), 65504.0);
+    EXPECT_EQ(tp::min_normal(tp::kBinary16), std::ldexp(1.0, -14));
+    EXPECT_EQ(tp::min_subnormal(tp::kBinary16), std::ldexp(1.0, -24));
+    EXPECT_EQ(tp::max_finite(tp::kBinary8), 57344.0); // 1.75 * 2^15
+    // binary16alt shares binary32's dynamic range.
+    EXPECT_EQ(tp::min_normal(tp::kBinary16Alt), tp::min_normal(tp::kBinary32));
+}
+
+TEST(Encoding, Representable) {
+    EXPECT_TRUE(tp::representable(0.25, tp::kBinary8));
+    EXPECT_TRUE(tp::representable(-1.75, tp::kBinary8));
+    EXPECT_FALSE(tp::representable(0.3, tp::kBinary8));
+    EXPECT_TRUE(tp::representable(65504.0, tp::kBinary16));
+    EXPECT_FALSE(tp::representable(65504.0 + 16.0, tp::kBinary16));
+}
+
+} // namespace

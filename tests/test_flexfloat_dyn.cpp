@@ -1,0 +1,103 @@
+#include "flexfloat/flexfloat_dyn.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "flexfloat/flexfloat.hpp"
+#include "types/encoding.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using tp::FlexFloatDyn;
+using tp::FpFormat;
+
+TEST(FlexFloatDyn, ConstructionSanitizes) {
+    const FlexFloatDyn a{0.3, tp::kBinary8};
+    EXPECT_EQ(a.value(), 0.3125);
+    EXPECT_EQ(a.format(), tp::kBinary8);
+}
+
+TEST(FlexFloatDyn, DefaultIsBinary32Zero) {
+    const FlexFloatDyn a;
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(a.format(), tp::kBinary32);
+}
+
+TEST(FlexFloatDyn, ArithmeticMatchesTemplateForm) {
+    tp::util::Xoshiro256 rng{0xD1};
+    for (int i = 0; i < 50000; ++i) {
+        const double x = rng.normal(0.0, 100.0);
+        const double y = rng.normal(0.0, 100.0);
+        const FlexFloatDyn a{x, tp::kBinary16};
+        const FlexFloatDyn b{y, tp::kBinary16};
+        const tp::binary16_t ta = x;
+        const tp::binary16_t tb = y;
+        ASSERT_EQ((a + b).value(), static_cast<double>(ta + tb));
+        ASSERT_EQ((a - b).value(), static_cast<double>(ta - tb));
+        ASSERT_EQ((a * b).value(), static_cast<double>(ta * tb));
+    }
+}
+
+TEST(FlexFloatDyn, CompoundAssignment) {
+    FlexFloatDyn a{1.5, tp::kBinary16};
+    a += FlexFloatDyn{0.25, tp::kBinary16};
+    EXPECT_EQ(a.value(), 1.75);
+    a *= FlexFloatDyn{2.0, tp::kBinary16};
+    EXPECT_EQ(a.value(), 3.5);
+    a -= FlexFloatDyn{0.5, tp::kBinary16};
+    EXPECT_EQ(a.value(), 3.0);
+    a /= FlexFloatDyn{2.0, tp::kBinary16};
+    EXPECT_EQ(a.value(), 1.5);
+}
+
+TEST(FlexFloatDyn, CastChangesFormatAndRounds) {
+    const FlexFloatDyn wide{3.14159, tp::kBinary32};
+    const FlexFloatDyn narrow = wide.cast_to(tp::kBinary8);
+    EXPECT_EQ(narrow.format(), tp::kBinary8);
+    EXPECT_EQ(narrow.value(), tp::quantize(wide.value(), tp::kBinary8));
+}
+
+TEST(FlexFloatDyn, BitsRoundTrip) {
+    const FlexFloatDyn a{-1.5, tp::kBinary16};
+    EXPECT_EQ(a.bits(), 0xbe00u);
+    const FlexFloatDyn b = FlexFloatDyn::from_bits(0xbe00u, tp::kBinary16);
+    EXPECT_EQ(b.value(), -1.5);
+    EXPECT_EQ(b.format(), tp::kBinary16);
+}
+
+TEST(FlexFloatDyn, SqrtAbsNeg) {
+    const FlexFloatDyn a{2.25, tp::kBinary16};
+    EXPECT_EQ(sqrt(a).value(), 1.5);
+    EXPECT_EQ(abs(FlexFloatDyn{-2.0, tp::kBinary16}).value(), 2.0);
+    EXPECT_EQ((-a).value(), -2.25);
+}
+
+TEST(FlexFloatDyn, Comparisons) {
+    const FlexFloatDyn a{1.0, tp::kBinary16};
+    const FlexFloatDyn b{2.0, tp::kBinary16};
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(a <= b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(b >= a);
+    EXPECT_TRUE(a != b);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(FlexFloatDyn, StreamInsertion) {
+    std::ostringstream os;
+    os << FlexFloatDyn{0.25, tp::kBinary8};
+    EXPECT_EQ(os.str(), "0.25");
+}
+
+TEST(FlexFloatDyn, ArbitraryFormatQuantization) {
+    // A (e=6, m=9) value: precision steps of 2^-9 at magnitude ~1.
+    const FlexFloatDyn v{1.0 + 1.0 / 1024.0, FpFormat{6, 9}};
+    EXPECT_EQ(v.value(), 1.0); // ties to even
+    const FlexFloatDyn w{1.0 + 3.0 / 1024.0, FpFormat{6, 9}};
+    EXPECT_EQ(w.value(), 1.0 + 4.0 / 1024.0);
+}
+
+} // namespace

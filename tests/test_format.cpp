@@ -1,0 +1,99 @@
+#include "types/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tp::FpFormat;
+using tp::FormatKind;
+
+TEST(Format, PaperFormatsMatchFig1) {
+    // binary8: 1 | 5 | 2 — same dynamic range as binary16.
+    EXPECT_EQ(tp::kBinary8.exp_bits, 5);
+    EXPECT_EQ(tp::kBinary8.mant_bits, 2);
+    EXPECT_EQ(tp::kBinary8.width_bits(), 8);
+    // binary16: IEEE half.
+    EXPECT_EQ(tp::kBinary16.exp_bits, 5);
+    EXPECT_EQ(tp::kBinary16.mant_bits, 10);
+    EXPECT_EQ(tp::kBinary16.width_bits(), 16);
+    // binary16alt: 1 | 8 | 7 — same dynamic range as binary32.
+    EXPECT_EQ(tp::kBinary16Alt.exp_bits, 8);
+    EXPECT_EQ(tp::kBinary16Alt.mant_bits, 7);
+    EXPECT_EQ(tp::kBinary16Alt.width_bits(), 16);
+    // binary32: IEEE single.
+    EXPECT_EQ(tp::kBinary32.exp_bits, 8);
+    EXPECT_EQ(tp::kBinary32.mant_bits, 23);
+    EXPECT_EQ(tp::kBinary32.width_bits(), 32);
+}
+
+TEST(Format, DynamicRangeRelationsFromThePaper) {
+    // binary8 and binary16 share their exponent range; binary16alt and
+    // binary32 share theirs.
+    EXPECT_EQ(tp::kBinary8.max_exp(), tp::kBinary16.max_exp());
+    EXPECT_EQ(tp::kBinary8.min_exp(), tp::kBinary16.min_exp());
+    EXPECT_EQ(tp::kBinary16Alt.max_exp(), tp::kBinary32.max_exp());
+    EXPECT_EQ(tp::kBinary16Alt.min_exp(), tp::kBinary32.min_exp());
+    // binary16 has less dynamic range than binary32.
+    EXPECT_LT(tp::kBinary16.max_exp(), tp::kBinary32.max_exp());
+}
+
+TEST(Format, BiasAndExponents) {
+    EXPECT_EQ(tp::kBinary32.bias(), 127);
+    EXPECT_EQ(tp::kBinary32.max_exp(), 127);
+    EXPECT_EQ(tp::kBinary32.min_exp(), -126);
+    EXPECT_EQ(tp::kBinary16.bias(), 15);
+    EXPECT_EQ(tp::kBinary64.bias(), 1023);
+}
+
+TEST(Format, StorageBytes) {
+    EXPECT_EQ(tp::kBinary8.storage_bytes(), 1);
+    EXPECT_EQ(tp::kBinary16.storage_bytes(), 2);
+    EXPECT_EQ(tp::kBinary16Alt.storage_bytes(), 2);
+    EXPECT_EQ(tp::kBinary32.storage_bytes(), 4);
+    EXPECT_EQ(tp::kBinary64.storage_bytes(), 8);
+    EXPECT_EQ((FpFormat{4, 2}).storage_bytes(), 1); // 7-bit format
+}
+
+TEST(Format, ExactViaDoubleEnvelope) {
+    EXPECT_TRUE(tp::kBinary8.exact_via_double());
+    EXPECT_TRUE(tp::kBinary16.exact_via_double());
+    EXPECT_TRUE(tp::kBinary16Alt.exact_via_double());
+    EXPECT_TRUE(tp::kBinary32.exact_via_double());
+    // m = 24 is the last width with innocuous double rounding.
+    EXPECT_TRUE((FpFormat{8, 24}).exact_via_double());
+    EXPECT_FALSE((FpFormat{8, 25}).exact_via_double());
+    EXPECT_FALSE(tp::kBinary64.exact_via_double());
+}
+
+TEST(Format, Validity) {
+    EXPECT_TRUE((FpFormat{1, 1}).valid());
+    EXPECT_TRUE((FpFormat{11, 52}).valid());
+    EXPECT_FALSE((FpFormat{0, 5}).valid());
+    EXPECT_FALSE((FpFormat{12, 5}).valid());
+    EXPECT_FALSE((FpFormat{5, 0}).valid());
+    EXPECT_FALSE((FpFormat{5, 53}).valid());
+}
+
+TEST(Format, KindRoundTrip) {
+    for (FormatKind kind : tp::kAllFormatKinds) {
+        FormatKind out;
+        ASSERT_TRUE(tp::kind_of(tp::format_of(kind), out));
+        EXPECT_EQ(out, kind);
+    }
+    FormatKind out;
+    EXPECT_FALSE(tp::kind_of(FpFormat{6, 9}, out));
+}
+
+TEST(Format, Names) {
+    EXPECT_EQ(tp::name_of(FormatKind::Binary8), "binary8");
+    EXPECT_EQ(tp::name_of(FormatKind::Binary16), "binary16");
+    EXPECT_EQ(tp::name_of(FormatKind::Binary16Alt), "binary16alt");
+    EXPECT_EQ(tp::name_of(FormatKind::Binary32), "binary32");
+}
+
+TEST(Format, Comparisons) {
+    EXPECT_EQ(tp::kBinary16, (FpFormat{5, 10}));
+    EXPECT_NE(tp::kBinary16, tp::kBinary16Alt);
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+#include "fpu/transprecision_fpu.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpu/energy_model.hpp"
+#include "fpu/latency_model.hpp"
+
+namespace {
+
+using tp::FlexFloatDyn;
+using tp::FpOp;
+using tp::fpu::default_energy_model;
+using tp::fpu::EnergyModel;
+using tp::fpu::TransprecisionFpu;
+
+TEST(LatencyModel, PaperTimings) {
+    // 32-bit and both 16-bit formats: pipelined, latency 2.
+    EXPECT_EQ(tp::fpu::latency_cycles(FpOp::Add, tp::kBinary32), 2);
+    EXPECT_EQ(tp::fpu::latency_cycles(FpOp::Mul, tp::kBinary16), 2);
+    EXPECT_EQ(tp::fpu::latency_cycles(FpOp::Sub, tp::kBinary16Alt), 2);
+    // binary8 arithmetic and all conversions: single cycle.
+    EXPECT_EQ(tp::fpu::latency_cycles(FpOp::Add, tp::kBinary8), 1);
+    EXPECT_EQ(tp::fpu::latency_cycles(FpOp::Mul, tp::kBinary8), 1);
+    EXPECT_EQ(tp::fpu::cast_latency_cycles(), 1);
+    // Pipelined ops accept one operation per cycle.
+    EXPECT_EQ(tp::fpu::initiation_interval(FpOp::Add, tp::kBinary32), 1);
+    EXPECT_EQ(tp::fpu::initiation_interval(FpOp::Mul, tp::kBinary16), 1);
+    // Iterative div/sqrt block the unit.
+    EXPECT_FALSE(tp::fpu::is_pipelined(FpOp::Div, tp::kBinary32));
+    EXPECT_EQ(tp::fpu::initiation_interval(FpOp::Div, tp::kBinary32),
+              tp::fpu::latency_cycles(FpOp::Div, tp::kBinary32));
+    EXPECT_GT(tp::fpu::latency_cycles(FpOp::Div, tp::kBinary32),
+              tp::fpu::latency_cycles(FpOp::Div, tp::kBinary8));
+}
+
+TEST(EnergyModelTest, NarrowerIsCheaper) {
+    const EnergyModel& m = default_energy_model();
+    EXPECT_LT(m.fp_op(FpOp::Add, tp::kBinary8), m.fp_op(FpOp::Add, tp::kBinary16));
+    EXPECT_LT(m.fp_op(FpOp::Add, tp::kBinary16), m.fp_op(FpOp::Add, tp::kBinary32));
+    EXPECT_LT(m.fp_op(FpOp::Mul, tp::kBinary8), m.fp_op(FpOp::Mul, tp::kBinary16));
+    EXPECT_LT(m.fp_op(FpOp::Mul, tp::kBinary16Alt),
+              m.fp_op(FpOp::Mul, tp::kBinary16)); // smaller mantissa multiplier
+    EXPECT_LT(m.fp_op(FpOp::Mul, tp::kBinary16), m.fp_op(FpOp::Mul, tp::kBinary32));
+}
+
+TEST(EnergyModelTest, SimdAmortizesPerLaneCost) {
+    const EnergyModel& m = default_energy_model();
+    const double scalar4 = 4.0 * m.fp_op(FpOp::Add, tp::kBinary8);
+    const double simd4 = m.fp_op_simd(FpOp::Add, tp::kBinary8, 4);
+    EXPECT_LT(simd4, scalar4);
+    EXPECT_GT(simd4, m.fp_op(FpOp::Add, tp::kBinary8)); // but not free
+    const double scalar2 = 2.0 * m.fp_op(FpOp::Add, tp::kBinary16);
+    EXPECT_LT(m.fp_op_simd(FpOp::Add, tp::kBinary16, 2), scalar2);
+    EXPECT_EQ(m.fp_op_simd(FpOp::Add, tp::kBinary16, 1),
+              m.fp_op(FpOp::Add, tp::kBinary16));
+}
+
+TEST(EnergyModelTest, SameExponentCastsAreCheaper) {
+    const EnergyModel& m = default_energy_model();
+    EXPECT_LT(m.cast(tp::kBinary32, tp::kBinary16Alt),
+              m.cast(tp::kBinary32, tp::kBinary16));
+    EXPECT_LT(m.cast(tp::kBinary16, tp::kBinary8),
+              m.cast(tp::kBinary16Alt, tp::kBinary8));
+}
+
+TEST(EnergyModelTest, IdleSliceInventory) {
+    // Slices: 1x32 + 2x16 + 4x8 = 7 total.
+    EXPECT_EQ(EnergyModel::idle_slices(tp::kBinary32, 1), 6);
+    EXPECT_EQ(EnergyModel::idle_slices(tp::kBinary16, 1), 6);
+    EXPECT_EQ(EnergyModel::idle_slices(tp::kBinary16, 2), 5);
+    EXPECT_EQ(EnergyModel::idle_slices(tp::kBinary8, 4), 3);
+    EXPECT_EQ(EnergyModel::idle_slices(tp::kBinary8, 1), 6);
+}
+
+TEST(EnergyModelTest, MemAccessScalesWithBytes) {
+    const EnergyModel& m = default_energy_model();
+    EXPECT_LT(m.mem_access(1), m.mem_access(2));
+    EXPECT_LT(m.mem_access(2), m.mem_access(4));
+    // One packed 32-bit access is cheaper than four byte accesses.
+    EXPECT_LT(m.mem_access(4), 4 * m.mem_access(1));
+}
+
+TEST(Fpu, SupportsPaperOps) {
+    EXPECT_TRUE(TransprecisionFpu::supports(FpOp::Add, tp::kBinary8));
+    EXPECT_TRUE(TransprecisionFpu::supports(FpOp::Sub, tp::kBinary16Alt));
+    EXPECT_TRUE(TransprecisionFpu::supports(FpOp::Mul, tp::kBinary32));
+    // Division is a model extension, not part of the paper's unit.
+    EXPECT_FALSE(TransprecisionFpu::supports(FpOp::Div, tp::kBinary32));
+    // Unknown (non-named) formats are not wired into any slice.
+    EXPECT_FALSE(TransprecisionFpu::supports(FpOp::Add, tp::FpFormat{6, 9}));
+}
+
+TEST(Fpu, MaxLanesPerWidth) {
+    EXPECT_EQ(TransprecisionFpu::max_lanes(tp::kBinary8), 4);
+    EXPECT_EQ(TransprecisionFpu::max_lanes(tp::kBinary16), 2);
+    EXPECT_EQ(TransprecisionFpu::max_lanes(tp::kBinary16Alt), 2);
+    EXPECT_EQ(TransprecisionFpu::max_lanes(tp::kBinary32), 1);
+}
+
+TEST(Fpu, ScalarExecuteComputesAndAccounts) {
+    TransprecisionFpu fpu;
+    const FlexFloatDyn a{1.5, tp::kBinary16};
+    const FlexFloatDyn b{0.25, tp::kBinary16};
+    const FlexFloatDyn r = fpu.execute(FpOp::Add, a, b);
+    EXPECT_EQ(r.value(), 1.75);
+    EXPECT_EQ(fpu.counters().scalar_ops, 1u);
+    EXPECT_GT(fpu.counters().energy_pj, 0.0);
+    EXPECT_EQ(fpu.counters().busy_cycles, 1u); // II of a pipelined op
+}
+
+TEST(Fpu, MixedFormatOperandsRejected) {
+    TransprecisionFpu fpu;
+    const FlexFloatDyn a{1.0, tp::kBinary16};
+    const FlexFloatDyn b{1.0, tp::kBinary16Alt};
+    EXPECT_THROW((void)fpu.execute(FpOp::Add, a, b), std::invalid_argument);
+}
+
+TEST(Fpu, SimdExecute) {
+    TransprecisionFpu fpu;
+    std::vector<FlexFloatDyn> a;
+    std::vector<FlexFloatDyn> b;
+    for (int i = 0; i < 4; ++i) {
+        a.emplace_back(0.5 * i, tp::kBinary8);
+        b.emplace_back(0.25, tp::kBinary8);
+    }
+    const auto r = fpu.execute_simd(FpOp::Add, a, b);
+    ASSERT_EQ(r.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(r[i].value(), tp::quantize(0.5 * i + 0.25, tp::kBinary8));
+    }
+    EXPECT_EQ(fpu.counters().simd_instrs, 1u);
+    EXPECT_EQ(fpu.counters().simd_lanes, 4u);
+}
+
+TEST(Fpu, SimdLaneLimitEnforced) {
+    TransprecisionFpu fpu;
+    std::vector<FlexFloatDyn> a(3, FlexFloatDyn{1.0, tp::kBinary16});
+    std::vector<FlexFloatDyn> b(3, FlexFloatDyn{1.0, tp::kBinary16});
+    EXPECT_THROW((void)fpu.execute_simd(FpOp::Add, a, b), std::invalid_argument);
+}
+
+TEST(Fpu, SimdEnergyBelowScalarEnergy) {
+    const EnergyModel& m = default_energy_model();
+    TransprecisionFpu scalar_fpu;
+    TransprecisionFpu simd_fpu;
+    std::vector<FlexFloatDyn> a(4, FlexFloatDyn{1.0, tp::kBinary8});
+    std::vector<FlexFloatDyn> b(4, FlexFloatDyn{2.0, tp::kBinary8});
+    for (int i = 0; i < 4; ++i) {
+        (void)scalar_fpu.execute(FpOp::Add, a[static_cast<std::size_t>(i)],
+                                 b[static_cast<std::size_t>(i)]);
+    }
+    (void)simd_fpu.execute_simd(FpOp::Add, a, b);
+    EXPECT_LT(simd_fpu.counters().energy_pj, scalar_fpu.counters().energy_pj);
+    (void)m;
+}
+
+TEST(Fpu, ConvertAndIntConversions) {
+    TransprecisionFpu fpu;
+    const FlexFloatDyn wide{3.14159, tp::kBinary32};
+    const FlexFloatDyn narrow = fpu.convert(wide, tp::kBinary16Alt);
+    EXPECT_EQ(narrow.format(), tp::kBinary16Alt);
+    EXPECT_EQ(narrow.value(), tp::quantize(wide.value(), tp::kBinary16Alt));
+    EXPECT_EQ(fpu.convert(FlexFloatDyn{2.5, tp::kBinary16}, tp::kBinary16).value(),
+              2.5);
+    EXPECT_EQ(fpu.from_int(7, tp::kBinary16).value(), 7.0);
+    EXPECT_EQ(fpu.to_int(FlexFloatDyn{2.5, tp::kBinary32}), 2); // RNE
+    EXPECT_EQ(fpu.to_int(FlexFloatDyn{3.5, tp::kBinary32}), 4);
+    EXPECT_EQ(fpu.counters().casts, 5u);
+}
+
+TEST(Fpu, UnaryOps) {
+    TransprecisionFpu fpu;
+    EXPECT_EQ(fpu.execute_unary(FpOp::Neg, FlexFloatDyn{1.5, tp::kBinary16}).value(),
+              -1.5);
+    EXPECT_EQ(fpu.execute_unary(FpOp::Abs, FlexFloatDyn{-2.0, tp::kBinary16}).value(),
+              2.0);
+    EXPECT_EQ(fpu.execute_unary(FpOp::Sqrt, FlexFloatDyn{2.25, tp::kBinary16}).value(),
+              1.5);
+}
+
+TEST(Fpu, ResetCounters) {
+    TransprecisionFpu fpu;
+    (void)fpu.execute(FpOp::Add, FlexFloatDyn{1.0, tp::kBinary8},
+                      FlexFloatDyn{1.0, tp::kBinary8});
+    fpu.reset_counters();
+    EXPECT_EQ(fpu.counters().scalar_ops, 0u);
+    EXPECT_EQ(fpu.counters().energy_pj, 0.0);
+}
+
+} // namespace

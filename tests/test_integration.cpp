@@ -1,0 +1,180 @@
+// End-to-end integration: the full transprecision flow — tune, bind,
+// trace, vectorize, simulate — exercised across modules, asserting the
+// qualitative outcomes the paper's evaluation is built on.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "sim/platform.hpp"
+#include "tuning/quality.hpp"
+#include "tuning/search.hpp"
+
+namespace {
+
+using tp::apps::make_app;
+using tp::sim::RunReport;
+using tp::sim::TpContext;
+
+RunReport simulate(tp::apps::App& app, const tp::apps::TypeConfig& config,
+                   bool simd, unsigned input_set = 0) {
+    app.prepare(input_set);
+    TpContext ctx;
+    (void)app.run(ctx, config);
+    return tp::sim::simulate(ctx.take_program(simd));
+}
+
+tp::tuning::TuningResult tune(tp::apps::App& app, double epsilon) {
+    tp::tuning::SearchOptions options;
+    options.epsilon = epsilon;
+    options.type_system = tp::TypeSystem{tp::TypeSystemKind::V2};
+    options.input_sets = {0, 1};
+    return tp::tuning::distributed_search(app, options);
+}
+
+TEST(Integration, ReportInternalConsistency) {
+    for (const auto& name : tp::apps::app_names()) {
+        auto app = make_app(name);
+        const auto report = simulate(*app, app->uniform_config(tp::kBinary32),
+                                     /*simd=*/false);
+        // Cycles cover at least one per issued slot.
+        EXPECT_GE(report.cycles, report.issue_slots) << name;
+        // Energy buckets are all populated and finite.
+        EXPECT_GT(report.energy.fp_ops, 0.0) << name;
+        EXPECT_GT(report.energy.memory, 0.0) << name;
+        EXPECT_GT(report.energy.other, 0.0) << name;
+        // The baseline has no SIMD activity and no FP->FP casts.
+        EXPECT_EQ(report.fp_simd_instrs, 0u) << name;
+        EXPECT_EQ(report.mem_accesses_vector, 0u) << name;
+        // Per-format activity sums to the instruction counters.
+        std::uint64_t scalar = 0;
+        for (const auto& [fmt, act] : report.per_format) {
+            scalar += act.scalar_ops;
+        }
+        EXPECT_EQ(scalar, report.fp_ops) << name;
+    }
+}
+
+TEST(Integration, TunedVectorizableAppsSaveEnergyAndAccesses) {
+    // The paper's headline for the vectorizable kernels.
+    for (const auto& name : {"knn", "dwt", "svm", "conv"}) {
+        auto app = make_app(name);
+        const auto tuning = tune(*app, 1e-1);
+        const auto baseline =
+            simulate(*app, app->uniform_config(tp::kBinary32), false);
+        const auto tuned = simulate(*app, tuning.type_config(), true);
+        EXPECT_LT(tuned.energy.total(), baseline.energy.total()) << name;
+        EXPECT_LT(tuned.mem_accesses, baseline.mem_accesses) << name;
+        EXPECT_LT(tuned.cycles, baseline.cycles) << name;
+        EXPECT_GT(tuned.fp_simd_instrs, 0u) << name;
+    }
+}
+
+TEST(Integration, JacobiStaysNearBaseline) {
+    // JACOBI cannot vectorize; the paper reports ~97% energy.
+    auto app = make_app("jacobi");
+    const auto tuning = tune(*app, 1e-2);
+    const auto baseline = simulate(*app, app->uniform_config(tp::kBinary32), false);
+    const auto tuned = simulate(*app, tuning.type_config(), true);
+    const double ratio = tuned.energy.total() / baseline.energy.total();
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.05);
+    EXPECT_EQ(tuned.fp_simd_instrs, 0u);
+}
+
+TEST(Integration, TunedConfigMeetsRequirementOnTrainingSets) {
+    // The DistributedSearch contract: the joined binding satisfies the
+    // requirement on every input set it was refined over.
+    for (const auto& name : tp::apps::app_names()) {
+        auto app = make_app(name);
+        const double epsilon = 1e-2;
+        const auto tuning = tune(*app, epsilon); // sets {0, 1}
+        for (unsigned set : {0u, 1u}) {
+            const auto golden = app->golden(set);
+            app->prepare(set);
+            TpContext ctx{TpContext::Config{.trace = false}};
+            const auto out = app->run(ctx, tuning.type_config());
+            const double err = tp::tuning::output_error(golden, out);
+            EXPECT_LE(err * err, epsilon) << name << " set " << set;
+        }
+    }
+}
+
+TEST(Integration, TunedConfigMostlyGeneralizesToUnseenInput) {
+    // Generalization is statistical, not guaranteed (a binding can overfit
+    // the dynamic range of its training sets — the reason the paper's
+    // phase 2 joins several sets). Require most applications to stay
+    // within a 4x slack of the requirement on a set never seen in tuning.
+    int generalized = 0;
+    int total = 0;
+    for (const auto& name : tp::apps::app_names()) {
+        auto app = make_app(name);
+        const double epsilon = 1e-2;
+        const auto tuning = tune(*app, epsilon);
+        const auto golden = app->golden(7);
+        app->prepare(7);
+        TpContext ctx{TpContext::Config{.trace = false}};
+        const auto out = app->run(ctx, tuning.type_config());
+        const double err = tp::tuning::output_error(golden, out);
+        ++total;
+        if (err * err <= epsilon * 4.0) ++generalized;
+    }
+    EXPECT_GE(generalized * 3, total * 2)
+        << generalized << " of " << total << " apps generalized";
+}
+
+TEST(Integration, ManualVectorizationImprovesPca) {
+    auto scalar_pca = make_app("pca");
+    const auto tuning = tune(*scalar_pca, 1e-2);
+    const auto baseline =
+        simulate(*scalar_pca, scalar_pca->uniform_config(tp::kBinary32), false);
+    const auto tuned_scalar = simulate(*scalar_pca, tuning.type_config(), true);
+    auto vec_pca = make_app("pca-manual-vec");
+    const auto tuned_vec = simulate(*vec_pca, tuning.type_config(), true);
+    // Same values, better schedule.
+    EXPECT_LT(tuned_vec.energy.total(), tuned_scalar.energy.total());
+    EXPECT_LT(tuned_vec.cycles, tuned_scalar.cycles);
+    (void)baseline;
+}
+
+TEST(Integration, TighterRequirementNeverSavesMore) {
+    // Energy at 10^-3 >= energy at 10^-1 for the same app (monotone
+    // resource/quality trade-off).
+    for (const auto& name : {"knn", "svm"}) {
+        auto app = make_app(name);
+        const auto loose = tune(*app, 1e-1);
+        const auto tight = tune(*app, 1e-3);
+        const auto loose_report = simulate(*app, loose.type_config(), true);
+        const auto tight_report = simulate(*app, tight.type_config(), true);
+        EXPECT_LE(loose_report.energy.total(), tight_report.energy.total() * 1.02)
+            << name;
+    }
+}
+
+TEST(Integration, StatsRegistryMatchesTraceCounts) {
+    // The FlexFloat statistics layer (programming-flow step 4) and the
+    // trace-driven platform must agree on arithmetic operation counts.
+    auto app = make_app("conv");
+    app->prepare(0);
+    tp::global_stats().reset();
+    tp::global_stats().set_enabled(true);
+    TpContext ctx;
+    (void)app->run(ctx, app->uniform_config(tp::kBinary16));
+    tp::global_stats().set_enabled(false);
+    const auto report = tp::sim::simulate(ctx.take_program(false));
+    std::uint64_t stats_arith = 0;
+    for (const auto& [fmt, counts] : tp::global_stats().ops()) {
+        stats_arith += counts.arithmetic_total();
+    }
+    std::uint64_t trace_arith = 0;
+    for (const auto& [fmt, act] : report.per_format) {
+        trace_arith += act.scalar_ops + act.vector_ops;
+    }
+    // The trace also records cmp/neg/abs under FpArith; exclude them the
+    // same way the registry's arithmetic_total does by comparing against
+    // fp_ops minus non-arithmetic records is brittle — instead assert the
+    // registry count is within the trace count and non-zero.
+    EXPECT_GT(stats_arith, 0u);
+    EXPECT_LE(stats_arith, trace_arith);
+    tp::global_stats().reset();
+}
+
+} // namespace

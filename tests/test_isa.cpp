@@ -1,0 +1,201 @@
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "sim/context.hpp"
+
+namespace {
+
+using tp::isa::decode_instr;
+using tp::isa::Decoded;
+using tp::isa::disassemble;
+using tp::isa::encode_instr;
+using tp::sim::Instr;
+using tp::sim::InstrKind;
+
+Instr fp_instr(tp::FpOp op, tp::FpFormat fmt, std::int32_t dst = 3,
+               std::int32_t s1 = 1, std::int32_t s2 = 2, std::int32_t s3 = -1) {
+    Instr instr;
+    instr.kind = InstrKind::FpArith;
+    instr.op = op;
+    instr.fmt = fmt;
+    instr.dst = dst;
+    instr.src1 = s1;
+    instr.src2 = s2;
+    instr.src3 = s3;
+    return instr;
+}
+
+TEST(IsaEncoding, FmtCodesRoundTrip) {
+    for (const tp::FormatKind kind : tp::kAllFormatKinds) {
+        const tp::FpFormat fmt = tp::format_of(kind);
+        EXPECT_EQ(tp::isa::format_of(tp::isa::fmt_code_of(fmt)), fmt);
+    }
+}
+
+TEST(IsaEncoding, ScalarArithmeticRoundTrip) {
+    const tp::FpOp ops[] = {tp::FpOp::Add, tp::FpOp::Sub, tp::FpOp::Mul,
+                            tp::FpOp::Div, tp::FpOp::Sqrt, tp::FpOp::Neg,
+                            tp::FpOp::Abs, tp::FpOp::Cmp};
+    for (const tp::FormatKind kind : tp::kAllFormatKinds) {
+        const tp::FpFormat fmt = tp::format_of(kind);
+        for (const tp::FpOp op : ops) {
+            const Instr instr = fp_instr(op, fmt);
+            const auto decoded = decode_instr(encode_instr(instr));
+            ASSERT_TRUE(decoded.has_value());
+            EXPECT_EQ(decoded->kind, InstrKind::FpArith);
+            EXPECT_EQ(decoded->op, op);
+            EXPECT_EQ(decoded->fmt, fmt);
+            EXPECT_EQ(decoded->lanes, 1);
+            EXPECT_EQ(decoded->rd, 3);
+            EXPECT_EQ(decoded->rs1, 1);
+        }
+    }
+}
+
+TEST(IsaEncoding, VectorArithmeticRoundTrip) {
+    const struct {
+        tp::FpFormat fmt;
+        int lanes;
+    } cases[] = {{tp::kBinary16, 2}, {tp::kBinary16Alt, 2}, {tp::kBinary8, 4},
+                 {tp::kBinary8, 2}};
+    for (const auto& c : cases) {
+        for (const tp::FpOp op : {tp::FpOp::Add, tp::FpOp::Sub, tp::FpOp::Mul}) {
+            const Instr instr = fp_instr(op, c.fmt);
+            const auto decoded = decode_instr(encode_instr(instr, c.lanes));
+            ASSERT_TRUE(decoded.has_value());
+            EXPECT_EQ(decoded->op, op);
+            EXPECT_EQ(decoded->fmt, c.fmt);
+            EXPECT_EQ(decoded->lanes, c.lanes);
+        }
+    }
+}
+
+TEST(IsaEncoding, FmaUsesR4Encoding) {
+    const Instr instr = fp_instr(tp::FpOp::Fma, tp::kBinary16, 6, 1, 2, 9);
+    const std::uint32_t word = encode_instr(instr);
+    EXPECT_EQ(word & 0x7f, static_cast<std::uint32_t>(tp::isa::MajorOpcode::Madd));
+    const auto decoded = decode_instr(word);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op, tp::FpOp::Fma);
+    EXPECT_EQ(decoded->fmt, tp::kBinary16);
+    EXPECT_EQ(decoded->rs3, 9);
+}
+
+TEST(IsaEncoding, CastsRoundTrip) {
+    Instr instr;
+    instr.kind = InstrKind::FpCast;
+    instr.dst = 4;
+    instr.src1 = 2;
+    for (const tp::FormatKind from : tp::kAllFormatKinds) {
+        for (const tp::FormatKind to : tp::kAllFormatKinds) {
+            instr.op = tp::FpOp::Add; // generic FP->FP
+            instr.fmt = tp::format_of(from);
+            instr.fmt2 = tp::format_of(to);
+            const auto decoded = decode_instr(encode_instr(instr));
+            ASSERT_TRUE(decoded.has_value());
+            EXPECT_EQ(decoded->kind, InstrKind::FpCast);
+            EXPECT_EQ(decoded->fmt, tp::format_of(from));
+            EXPECT_EQ(decoded->fmt2, tp::format_of(to));
+        }
+    }
+    // Integer conversions.
+    instr.op = tp::FpOp::FromInt;
+    instr.fmt = instr.fmt2 = tp::kBinary8;
+    auto decoded = decode_instr(encode_instr(instr));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op, tp::FpOp::FromInt);
+    instr.op = tp::FpOp::ToInt;
+    decoded = decode_instr(encode_instr(instr));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op, tp::FpOp::ToInt);
+}
+
+TEST(IsaEncoding, MemoryWidthsRoundTrip) {
+    Instr instr;
+    instr.kind = InstrKind::Load;
+    instr.dst = 7;
+    instr.stream = 2;
+    for (const int bytes : {1, 2, 4}) {
+        instr.bytes = static_cast<std::uint8_t>(bytes);
+        const auto decoded = decode_instr(encode_instr(instr));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->kind, InstrKind::Load);
+        EXPECT_EQ(decoded->bytes, bytes);
+    }
+    // A packed group of four byte elements encodes as a word access.
+    instr.bytes = 1;
+    const auto packed = decode_instr(encode_instr(instr, 4));
+    ASSERT_TRUE(packed.has_value());
+    EXPECT_EQ(packed->bytes, 4);
+}
+
+TEST(IsaEncoding, UnknownWordsRejected) {
+    EXPECT_FALSE(decode_instr(0xffffffffu).has_value());
+    EXPECT_FALSE(decode_instr(0x0000007fu).has_value());
+}
+
+TEST(IsaDisassembler, Mnemonics) {
+    EXPECT_EQ(disassemble(fp_instr(tp::FpOp::Add, tp::kBinary16)),
+              "fadd.h f3, f1, f2");
+    EXPECT_EQ(disassemble(fp_instr(tp::FpOp::Mul, tp::kBinary8), 4),
+              "vfmul.b f3, f1, f2");
+    EXPECT_EQ(disassemble(fp_instr(tp::FpOp::Sub, tp::kBinary16Alt), 2),
+              "vfsub.ah f3, f1, f2");
+    EXPECT_EQ(disassemble(fp_instr(tp::FpOp::Fma, tp::kBinary32, 6, 1, 2, 9)),
+              "fmadd.s f6, f1, f2, f9");
+    Instr cast;
+    cast.kind = InstrKind::FpCast;
+    cast.fmt = tp::kBinary32;
+    cast.fmt2 = tp::kBinary16Alt;
+    cast.dst = 5;
+    cast.src1 = 1;
+    EXPECT_EQ(disassemble(cast), "fcvt.ah.s f5, f1");
+    Instr load;
+    load.kind = InstrKind::Load;
+    load.bytes = 2;
+    load.dst = 8;
+    EXPECT_EQ(disassemble(load), "flh f8, 0(x5)");
+    EXPECT_EQ(disassemble(0xffffffffu).substr(0, 5), ".word");
+}
+
+TEST(IsaDisassembler, ListingOfRealProgram) {
+    auto app = tp::apps::make_app("knn");
+    app->prepare(0);
+    tp::sim::TpContext ctx;
+    (void)app->run(ctx, app->uniform_config(tp::kBinary8));
+    const auto program = ctx.take_program(true);
+    std::ostringstream os;
+    tp::isa::write_listing(program, os, 200);
+    const std::string listing = os.str();
+    EXPECT_NE(listing.find("vfsub.b"), std::string::npos)
+        << "KNN's vectorized distance loop should appear";
+    EXPECT_NE(listing.find("lanes"), std::string::npos);
+    EXPECT_NE(listing.find("flb"), std::string::npos); // scalar binary8 loads
+}
+
+TEST(IsaEncoding, EveryTraceInstrOfEveryAppEncodes) {
+    for (const auto& name : tp::apps::app_names()) {
+        auto app = tp::apps::make_app(name);
+        app->prepare(0);
+        tp::sim::TpContext ctx;
+        (void)app->run(ctx, app->uniform_config(tp::kBinary16));
+        const auto program = ctx.take_program(true);
+        for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+            const auto& instr = program.instrs[i];
+            const int lanes =
+                instr.simd_group != 0
+                    ? program.groups[instr.simd_group - 1].lanes
+                    : 1;
+            const auto decoded = decode_instr(encode_instr(instr, lanes));
+            ASSERT_TRUE(decoded.has_value()) << name << " @" << i;
+            ASSERT_EQ(decoded->kind, instr.kind) << name << " @" << i;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+// Parameterized property suites over the format space: invariants that
+// must hold for *every* supported (e, m), not just the four paper formats.
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "flexfloat/sanitize.hpp"
+#include "softfloat/softfloat.hpp"
+#include "types/encoding.hpp"
+#include "types/format.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+namespace sf = tp::softfloat;
+using tp::decode;
+using tp::encode;
+using tp::FpFormat;
+using tp::quantize;
+
+class FormatProperty : public ::testing::TestWithParam<FpFormat> {};
+
+std::string format_name(const ::testing::TestParamInfo<FpFormat>& info) {
+    return "e" + std::to_string(info.param.exp_bits) + "m" +
+           std::to_string(info.param.mant_bits);
+}
+
+TEST_P(FormatProperty, QuantizeIsMonotone) {
+    // x <= y implies quantize(x) <= quantize(y): rounding never reorders.
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0x10301 + f.exp_bits * 131u + f.mant_bits};
+    for (int i = 0; i < 20000; ++i) {
+        const int exp = static_cast<int>(rng.uniform_int(-40, 40));
+        const double x = std::ldexp(rng.uniform(-2.0, 2.0), exp);
+        const double y = x + std::ldexp(rng.uniform(0.0, 1.0), exp - 3);
+        ASSERT_LE(quantize(x, f), quantize(y, f)) << "x=" << x << " y=" << y;
+    }
+}
+
+TEST_P(FormatProperty, QuantizeRoundsToNearest) {
+    // |quantize(x) - x| <= |g - x| for the representable neighbours g.
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0x4e4 + f.exp_bits * 17u + f.mant_bits};
+    for (int i = 0; i < 20000; ++i) {
+        const double x = std::ldexp(rng.uniform(-2.0, 2.0),
+                                    static_cast<int>(rng.uniform_int(-12, 12)));
+        const double q = quantize(x, f);
+        if (!std::isfinite(q)) continue;
+        // Neighbouring representable values around q.
+        const std::uint64_t bits = encode(q, f);
+        const std::uint64_t mag = bits & (tp::bit_mask(f) >> 1);
+        const double err_q = std::fabs(q - x);
+        if (mag > 0) {
+            const double below = decode(bits - 1, f); // same sign, one ulp down
+            ASSERT_LE(err_q, std::fabs(below - x) * (1 + 1e-15));
+        }
+        const double above = decode(bits + 1, f);
+        if (std::isfinite(above)) {
+            ASSERT_LE(err_q, std::fabs(above - x) * (1 + 1e-15));
+        }
+    }
+}
+
+TEST_P(FormatProperty, SanitizeAgreesWithQuantize) {
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0x5A52 + f.exp_bits * 31u + f.mant_bits};
+    for (int i = 0; i < 30000; ++i) {
+        const int exp = static_cast<int>(rng.uniform_int(-1074, 1023));
+        double v = std::ldexp(rng.uniform(1.0, 2.0), exp);
+        if (rng() & 1) v = -v;
+        ASSERT_EQ(tp::detail::sanitize(v, f), quantize(v, f)) << v;
+    }
+}
+
+TEST_P(FormatProperty, SoftFloatAddIdentityAndInverse) {
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0xADD + f.exp_bits * 7u + f.mant_bits};
+    const std::uint64_t mask = tp::bit_mask(f);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t a = rng() & mask;
+        if (sf::is_nan(a, f) || sf::is_inf(a, f)) continue;
+        // a + 0 == a (exactly, including sign of non-zero values)
+        ASSERT_TRUE(sf::eq(sf::add(a, 0, f), a, f));
+        // a - a == +0
+        ASSERT_EQ(sf::sub(a, a, f), 0u);
+        // a * 1 == a
+        ASSERT_TRUE(sf::eq(sf::mul(a, encode(1.0, f), f), a, f));
+        // a / 1 == a
+        ASSERT_TRUE(sf::eq(sf::div(a, encode(1.0, f), f), a, f));
+    }
+}
+
+TEST_P(FormatProperty, SoftFloatMulSignSymmetry) {
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0x517 + f.exp_bits * 13u + f.mant_bits};
+    const std::uint64_t mask = tp::bit_mask(f);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t a = rng() & mask;
+        const std::uint64_t b = rng() & mask;
+        if (sf::is_nan(a, f) || sf::is_nan(b, f)) continue;
+        // Inf * 0 is NaN; NaN carries a canonical (positive) sign, so the
+        // symmetry only applies to non-NaN products.
+        if (sf::is_nan(sf::mul(a, b, f), f)) continue;
+        ASSERT_EQ(sf::mul(sf::neg(a, f), b, f), sf::neg(sf::mul(a, b, f), f));
+        ASSERT_EQ(sf::mul(a, sf::neg(b, f), f), sf::neg(sf::mul(a, b, f), f));
+    }
+}
+
+TEST_P(FormatProperty, SoftFloatSterbenz) {
+    // Sterbenz lemma: b/2 <= a <= 2b implies a - b is exact.
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0x57E4 + f.exp_bits * 3u + f.mant_bits};
+    for (int i = 0; i < 20000; ++i) {
+        const double b = std::ldexp(rng.uniform(1.0, 2.0),
+                                    static_cast<int>(rng.uniform_int(-8, 8)));
+        const double a = b * rng.uniform(0.5, 2.0);
+        const double qa = quantize(a, f);
+        const double qb = quantize(b, f);
+        if (!std::isfinite(qa) || !std::isfinite(qb)) continue; // tiny e overflows
+        if (!(qb / 2 <= qa && qa <= 2 * qb)) continue;
+        const std::uint64_t diff = sf::sub(encode(qa, f), encode(qb, f), f);
+        ASSERT_EQ(decode(diff, f), qa - qb);
+    }
+}
+
+TEST_P(FormatProperty, CastUpIsExact) {
+    // Widening within the same or larger exponent range is exact.
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0xCA5 + f.exp_bits * 11u + f.mant_bits};
+    const FpFormat wide{11, 52}; // binary64 dominates every supported format
+    const std::uint64_t mask = tp::bit_mask(f);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t a = rng() & mask;
+        if (sf::is_nan(a, f)) continue;
+        const std::uint64_t up = sf::cast(a, f, wide);
+        ASSERT_EQ(decode(up, wide), decode(a, f));
+        // And casting straight back recovers the original value.
+        const std::uint64_t back = sf::cast(up, wide, f);
+        ASSERT_TRUE(sf::eq(back, a, f));
+    }
+}
+
+TEST_P(FormatProperty, ComparisonTotalOrderOnFinites) {
+    const FpFormat f = GetParam();
+    tp::util::Xoshiro256 rng{0xC03 + f.exp_bits * 19u + f.mant_bits};
+    const std::uint64_t mask = tp::bit_mask(f);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t a = rng() & mask;
+        const std::uint64_t b = rng() & mask;
+        if (sf::is_nan(a, f) || sf::is_nan(b, f)) continue;
+        // Exactly one of <, ==, > holds.
+        const int count = (sf::lt(a, b, f) ? 1 : 0) + (sf::eq(a, b, f) ? 1 : 0) +
+                          (sf::lt(b, a, f) ? 1 : 0);
+        ASSERT_EQ(count, 1);
+        // And it is consistent with the decoded doubles.
+        ASSERT_EQ(sf::lt(a, b, f), decode(a, f) < decode(b, f));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FormatProperty,
+                         ::testing::Values(tp::kBinary8, tp::kBinary16,
+                                           tp::kBinary16Alt, tp::kBinary32,
+                                           FpFormat{2, 2}, FpFormat{3, 6},
+                                           FpFormat{6, 9}, FpFormat{7, 16},
+                                           FpFormat{9, 22}, FpFormat{11, 24}),
+                         format_name);
+
+// --- exhaustive encode/decode round-trips for every narrow format ----------
+
+class NarrowFormatExhaustive : public ::testing::TestWithParam<FpFormat> {};
+
+TEST_P(NarrowFormatExhaustive, AllPatternsRoundTrip) {
+    const FpFormat f = GetParam();
+    const std::uint64_t patterns = 1ULL << f.width_bits();
+    for (std::uint64_t bits = 0; bits < patterns; ++bits) {
+        const double v = decode(bits, f);
+        if (std::isnan(v)) continue;
+        ASSERT_EQ(encode(v, f), bits) << "pattern " << bits;
+    }
+}
+
+TEST_P(NarrowFormatExhaustive, DecodeIsMonotoneInMagnitude) {
+    const FpFormat f = GetParam();
+    const std::uint64_t sign_bit = 1ULL << (f.exp_bits + f.mant_bits);
+    double prev = 0.0;
+    for (std::uint64_t mag = 0; mag < sign_bit; ++mag) {
+        const double v = decode(mag, f);
+        if (std::isnan(v)) break; // NaNs occupy the top of the magnitude range
+        ASSERT_GE(v, prev) << "magnitude " << mag;
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(NarrowFormats, NarrowFormatExhaustive,
+                         ::testing::Values(tp::kBinary8, FpFormat{2, 2},
+                                           FpFormat{3, 4}, FpFormat{4, 5},
+                                           FpFormat{5, 6}, FpFormat{2, 9},
+                                           FpFormat{9, 2}),
+                         format_name);
+
+} // namespace

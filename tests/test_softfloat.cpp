@@ -1,0 +1,332 @@
+#include "softfloat/softfloat.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "types/encoding.hpp"
+#include "types/format.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+namespace sf = tp::softfloat;
+using tp::decode;
+using tp::encode;
+using tp::FpFormat;
+
+// Reference implementation: operate on the decoded doubles and re-round.
+// For every format in this library (m <= 24 via double is bit-exact by the
+// innocuous-double-rounding theorem; products/sums of narrow formats are
+// even exact in double), this gives the correctly rounded result, entirely
+// independently of the integer datapath under test.
+std::uint64_t oracle(char op, std::uint64_t a, std::uint64_t b, FpFormat f) {
+    const double da = decode(a, f);
+    const double db = decode(b, f);
+    double r = 0.0;
+    switch (op) {
+    case '+': r = da + db; break;
+    case '-': r = da - db; break;
+    case '*': r = da * db; break;
+    case '/': r = da / db; break;
+    default: ADD_FAILURE() << "bad op"; break;
+    }
+    return encode(r, f);
+}
+
+std::uint64_t apply(char op, std::uint64_t a, std::uint64_t b, FpFormat f) {
+    switch (op) {
+    case '+': return sf::add(a, b, f);
+    case '-': return sf::sub(a, b, f);
+    case '*': return sf::mul(a, b, f);
+    case '/': return sf::div(a, b, f);
+    default: ADD_FAILURE() << "bad op"; return 0;
+    }
+}
+
+/// Compares softfloat against the oracle, treating any-NaN as equivalent.
+/// For formats within the innocuous-double-rounding envelope (m <= 24) the
+/// oracle is correctly rounded and the match must be exact. For wider
+/// formats the *oracle* can be off by one ulp (softfloat is the correctly
+/// rounded one there), so a 1-ulp tolerance applies.
+void expect_same(char op, std::uint64_t a, std::uint64_t b, FpFormat f) {
+    const std::uint64_t got = apply(op, a, b, f);
+    const std::uint64_t want = oracle(op, a, b, f);
+    const bool got_nan = sf::is_nan(got, f);
+    const bool want_nan = std::isnan(decode(want, f));
+    if (got_nan || want_nan) {
+        ASSERT_EQ(got_nan, want_nan)
+            << op << " a=" << std::hex << a << " b=" << b;
+        return;
+    }
+    if (f.exact_via_double()) {
+        ASSERT_EQ(got, want) << op << " a=" << std::hex << a << " b=" << b
+                             << " (e=" << std::dec << int{f.exp_bits}
+                             << ",m=" << int{f.mant_bits} << ")";
+        return;
+    }
+    // Wide format: allow the oracle's double-rounding ulp, same sign only.
+    const std::uint64_t sign_bit = 1ULL << (f.exp_bits + f.mant_bits);
+    ASSERT_EQ(got & sign_bit, want & sign_bit);
+    const std::uint64_t mag_got = got & ~sign_bit;
+    const std::uint64_t mag_want = want & ~sign_bit;
+    const std::uint64_t diff =
+        mag_got > mag_want ? mag_got - mag_want : mag_want - mag_got;
+    ASSERT_LE(diff, 1u) << op << " a=" << std::hex << a << " b=" << b;
+}
+
+TEST(SoftFloat, ExhaustiveBinary8AddSubMul) {
+    for (std::uint64_t a = 0; a < 256; ++a) {
+        for (std::uint64_t b = 0; b < 256; ++b) {
+            expect_same('+', a, b, tp::kBinary8);
+            expect_same('-', a, b, tp::kBinary8);
+            expect_same('*', a, b, tp::kBinary8);
+        }
+    }
+}
+
+TEST(SoftFloat, ExhaustiveBinary8Div) {
+    for (std::uint64_t a = 0; a < 256; ++a) {
+        for (std::uint64_t b = 0; b < 256; ++b) {
+            expect_same('/', a, b, tp::kBinary8);
+        }
+    }
+}
+
+class SoftFloatRandomOps
+    : public ::testing::TestWithParam<std::tuple<FpFormat, char>> {};
+
+TEST_P(SoftFloatRandomOps, MatchesOracle) {
+    const auto [format, op] = GetParam();
+    tp::util::Xoshiro256 rng{0xF00DULL + static_cast<unsigned>(op)};
+    const std::uint64_t mask = tp::bit_mask(format);
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t a = rng() & mask;
+        const std::uint64_t b = rng() & mask;
+        expect_same(op, a, b, format);
+    }
+}
+
+std::string random_ops_name(
+    const ::testing::TestParamInfo<std::tuple<FpFormat, char>>& info) {
+    const FpFormat format = std::get<0>(info.param);
+    const char op = std::get<1>(info.param);
+    std::string name = "e";
+    name += std::to_string(format.exp_bits);
+    name += "m";
+    name += std::to_string(format.mant_bits);
+    switch (op) {
+    case '+': name += "_add"; break;
+    case '-': name += "_sub"; break;
+    case '*': name += "_mul"; break;
+    case '/': name += "_div"; break;
+    default: name += "_unk"; break;
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, SoftFloatRandomOps,
+    ::testing::Combine(::testing::Values(tp::kBinary8, tp::kBinary16,
+                                         tp::kBinary16Alt, tp::kBinary32,
+                                         FpFormat{6, 9}, FpFormat{3, 3},
+                                         FpFormat{10, 40}),
+                       ::testing::Values('+', '-', '*', '/')),
+    random_ops_name);
+
+TEST(SoftFloat, SqrtMatchesOracleBinary16) {
+    // sqrt of a binary16 value computed in double is exact to < half ulp
+    // before re-rounding, so encode(sqrt(decode)) is correctly rounded.
+    for (std::uint64_t a = 0; a < 65536; ++a) {
+        const double da = decode(a, tp::kBinary16);
+        if (std::isnan(da)) continue;
+        const std::uint64_t got = sf::sqrt(a, tp::kBinary16);
+        if (da < 0.0 && da != 0.0) {
+            EXPECT_TRUE(sf::is_nan(got, tp::kBinary16));
+            continue;
+        }
+        const std::uint64_t want = encode(std::sqrt(da), tp::kBinary16);
+        ASSERT_EQ(got, want) << "pattern " << std::hex << a;
+    }
+}
+
+TEST(SoftFloat, SqrtRandomBinary32) {
+    tp::util::Xoshiro256 rng{0x57AB1E};
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t a = rng() & tp::bit_mask(tp::kBinary32);
+        const double da = decode(a, tp::kBinary32);
+        if (std::isnan(da) || da < 0.0) continue;
+        const std::uint64_t got = sf::sqrt(a, tp::kBinary32);
+        // float sqrt is correctly rounded on IEEE hardware.
+        const float ref = std::sqrt(static_cast<float>(da));
+        ASSERT_EQ(decode(got, tp::kBinary32), static_cast<double>(ref));
+    }
+}
+
+TEST(SoftFloat, SpecialValuesAdd) {
+    const FpFormat f = tp::kBinary16;
+    const std::uint64_t inf = sf::infinity(f, false);
+    const std::uint64_t ninf = sf::infinity(f, true);
+    const std::uint64_t nan = sf::quiet_nan(f);
+    const std::uint64_t one = encode(1.0, f);
+    EXPECT_EQ(sf::add(inf, one, f), inf);
+    EXPECT_EQ(sf::add(ninf, one, f), ninf);
+    EXPECT_TRUE(sf::is_nan(sf::add(inf, ninf, f), f));
+    EXPECT_TRUE(sf::is_nan(sf::add(nan, one, f), f));
+    // +0 + -0 = +0 under round-to-nearest.
+    EXPECT_EQ(sf::add(encode(0.0, f), encode(-0.0, f), f), 0u);
+    EXPECT_EQ(sf::add(encode(-0.0, f), encode(-0.0, f), f), encode(-0.0, f));
+}
+
+TEST(SoftFloat, SpecialValuesMulDiv) {
+    const FpFormat f = tp::kBinary16;
+    const std::uint64_t inf = sf::infinity(f, false);
+    const std::uint64_t zero = 0;
+    const std::uint64_t one = encode(1.0, f);
+    EXPECT_TRUE(sf::is_nan(sf::mul(inf, zero, f), f));
+    EXPECT_TRUE(sf::is_nan(sf::div(zero, zero, f), f));
+    EXPECT_TRUE(sf::is_nan(sf::div(inf, inf, f), f));
+    EXPECT_EQ(sf::div(one, zero, f), inf);
+    EXPECT_EQ(sf::div(one, sf::neg(zero, f), f), sf::infinity(f, true));
+    EXPECT_EQ(sf::div(one, inf, f), 0u);
+    // Exact cancellation gives +0.
+    EXPECT_EQ(sf::sub(one, one, f), 0u);
+}
+
+TEST(SoftFloat, ExactCancellationNearEqual) {
+    // Catastrophic cancellation must be exact (Sterbenz): a - b with
+    // a/2 <= b <= 2a is representable.
+    const FpFormat f = tp::kBinary16;
+    tp::util::Xoshiro256 rng{0xCACE};
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t a = rng() & 0x7fffu;
+        const double da = decode(a, f);
+        if (!std::isfinite(da) || da == 0.0) continue;
+        const double db = decode(a + 1, f);
+        if (!std::isfinite(db)) continue;
+        const std::uint64_t d = sf::sub(a + 1, a, f);
+        ASSERT_EQ(decode(d, f), db - da);
+    }
+}
+
+TEST(SoftFloat, CastBinary16ToBinary8KeepsRange) {
+    // binary8 mirrors binary16's dynamic range: casting can lose precision
+    // but never saturates a finite binary16 maximum to infinity... except
+    // by rounding at the very top. max binary16 = 65504 rounds to 2^16
+    // which overflows binary8 (max 57344) -> inf. Check the documented
+    // boundary behaviour precisely.
+    EXPECT_EQ(decode(sf::cast(encode(57344.0, tp::kBinary16), tp::kBinary16,
+                              tp::kBinary8),
+                     tp::kBinary8),
+              57344.0);
+    // Values whose rounding in binary8 stays below 1.75*2^15 survive.
+    EXPECT_EQ(decode(sf::cast(encode(50000.0, tp::kBinary16), tp::kBinary16,
+                              tp::kBinary8),
+                     tp::kBinary8),
+              49152.0);
+}
+
+TEST(SoftFloat, CastMatchesQuantize) {
+    tp::util::Xoshiro256 rng{0xCA57};
+    const FpFormat from[] = {tp::kBinary32, tp::kBinary16, tp::kBinary16Alt};
+    const FpFormat to[] = {tp::kBinary8, tp::kBinary16, tp::kBinary16Alt,
+                           tp::kBinary32};
+    for (const FpFormat ff : from) {
+        for (const FpFormat tf : to) {
+            for (int i = 0; i < 20000; ++i) {
+                const std::uint64_t a = rng() & tp::bit_mask(ff);
+                const double da = decode(a, ff);
+                if (std::isnan(da)) continue;
+                const std::uint64_t got = sf::cast(a, ff, tf);
+                ASSERT_EQ(got, encode(da, tf));
+            }
+        }
+    }
+}
+
+TEST(SoftFloat, FromIntExactSmall) {
+    for (std::int64_t v = -300; v <= 300; ++v) {
+        EXPECT_EQ(decode(sf::from_int(v, tp::kBinary32), tp::kBinary32),
+                  static_cast<double>(v));
+    }
+}
+
+TEST(SoftFloat, FromIntRounds) {
+    // 2^24 + 1 is not representable in binary32.
+    const std::int64_t v = (1 << 24) + 1;
+    EXPECT_EQ(decode(sf::from_int(v, tp::kBinary32), tp::kBinary32),
+              static_cast<double>(1 << 24));
+    // Large magnitudes round like the native conversion.
+    tp::util::Xoshiro256 rng{0x1217};
+    for (int i = 0; i < 50000; ++i) {
+        const auto x = static_cast<std::int64_t>(rng());
+        EXPECT_EQ(decode(sf::from_int(x, tp::kBinary32), tp::kBinary32),
+                  static_cast<double>(static_cast<float>(x)));
+    }
+}
+
+TEST(SoftFloat, ToIntRoundsToNearestEven) {
+    const FpFormat f = tp::kBinary32;
+    EXPECT_EQ(sf::to_int(encode(2.5, f), f), 2);
+    EXPECT_EQ(sf::to_int(encode(3.5, f), f), 4);
+    EXPECT_EQ(sf::to_int(encode(-2.5, f), f), -2);
+    EXPECT_EQ(sf::to_int(encode(0.49, f), f), 0);
+    EXPECT_EQ(sf::to_int(encode(-7.0, f), f), -7);
+    EXPECT_EQ(sf::to_int(sf::quiet_nan(f), f), 0);
+    EXPECT_EQ(sf::to_int(sf::infinity(f, false), f),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(sf::to_int(sf::infinity(f, true), f),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(SoftFloat, ComparisonSemantics) {
+    const FpFormat f = tp::kBinary16;
+    tp::util::Xoshiro256 rng{0xC09A};
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t a = rng() & tp::bit_mask(f);
+        const std::uint64_t b = rng() & tp::bit_mask(f);
+        const double da = decode(a, f);
+        const double db = decode(b, f);
+        ASSERT_EQ(sf::eq(a, b, f), da == db);
+        ASSERT_EQ(sf::lt(a, b, f), da < db);
+        ASSERT_EQ(sf::le(a, b, f), da <= db);
+    }
+}
+
+TEST(SoftFloat, WrapperInfixArithmetic) {
+    const sf::SoftFloat a{1.5, tp::kBinary16};
+    const sf::SoftFloat b{0.25, tp::kBinary16};
+    EXPECT_EQ((a + b).to_double(), 1.75);
+    EXPECT_EQ((a - b).to_double(), 1.25);
+    EXPECT_EQ((a * b).to_double(), 0.375);
+    EXPECT_EQ((a / b).to_double(), 6.0);
+    EXPECT_EQ((-a).to_double(), -1.5);
+    EXPECT_TRUE(b < a);
+    EXPECT_TRUE(b <= a);
+    EXPECT_FALSE(a == b);
+    EXPECT_EQ(sf::SoftFloat::from_bits(a.bits(), tp::kBinary16).to_double(), 1.5);
+}
+
+TEST(SoftFloat, CommutativityProperty) {
+    tp::util::Xoshiro256 rng{0xAB};
+    const FpFormat f = tp::kBinary16Alt;
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t a = rng() & tp::bit_mask(f);
+        const std::uint64_t b = rng() & tp::bit_mask(f);
+        if (sf::is_nan(a, f) || sf::is_nan(b, f)) continue;
+        ASSERT_EQ(sf::add(a, b, f), sf::add(b, a, f));
+        ASSERT_EQ(sf::mul(a, b, f), sf::mul(b, a, f));
+    }
+}
+
+TEST(SoftFloat, NegAndAbs) {
+    const FpFormat f = tp::kBinary16;
+    const std::uint64_t one = encode(1.0, f);
+    EXPECT_EQ(sf::neg(one, f), encode(-1.0, f));
+    EXPECT_EQ(sf::abs(encode(-1.0, f), f), one);
+    EXPECT_EQ(sf::abs(sf::infinity(f, true), f), sf::infinity(f, false));
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+#include "util/statistics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace {
+
+using tp::util::RunningStats;
+
+TEST(Statistics, MeanOfEmptyIsZero) {
+    EXPECT_EQ(tp::util::mean({}), 0.0);
+}
+
+TEST(Statistics, MeanBasic) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(tp::util::mean(xs), 2.5);
+}
+
+TEST(Statistics, RmsBasic) {
+    const std::vector<double> xs{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(tp::util::rms(xs), std::sqrt(12.5));
+}
+
+TEST(Statistics, SqnrExactMatchIsInfinite) {
+    const std::vector<double> xs{1.0, -2.0, 3.0};
+    EXPECT_TRUE(std::isinf(tp::util::sqnr(xs, xs)));
+}
+
+TEST(Statistics, SqnrHalvesWithDoubleNoise) {
+    const std::vector<double> ref{1.0, 1.0, 1.0, 1.0};
+    const std::vector<double> a{1.1, 1.1, 1.1, 1.1};
+    const std::vector<double> b{1.2, 1.2, 1.2, 1.2};
+    EXPECT_NEAR(tp::util::sqnr(ref, a) / tp::util::sqnr(ref, b), 4.0, 1e-9);
+}
+
+TEST(Statistics, RelativeRmsErrorMatchesDefinition) {
+    const std::vector<double> ref{2.0, 0.0, -2.0};
+    const std::vector<double> out{2.2, 0.0, -2.2};
+    // noise rms = sqrt((0.04+0+0.04)/3), signal rms = sqrt(8/3)
+    EXPECT_NEAR(tp::util::relative_rms_error(ref, out), 0.1, 1e-12);
+}
+
+TEST(Statistics, RelativeRmsErrorNaNIsInfinite) {
+    const std::vector<double> ref{1.0, 2.0};
+    const std::vector<double> out{1.0, std::numeric_limits<double>::quiet_NaN()};
+    EXPECT_TRUE(std::isinf(tp::util::relative_rms_error(ref, out)));
+}
+
+TEST(Statistics, RelativeRmsErrorZeroSignal) {
+    const std::vector<double> zero{0.0, 0.0};
+    const std::vector<double> nonzero{0.0, 1.0};
+    EXPECT_EQ(tp::util::relative_rms_error(zero, zero), 0.0);
+    EXPECT_TRUE(std::isinf(tp::util::relative_rms_error(zero, nonzero)));
+}
+
+TEST(Statistics, GeometricMean) {
+    const std::vector<double> xs{2.0, 8.0};
+    EXPECT_NEAR(tp::util::geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(Statistics, RunningStatsMatchesBatch) {
+    tp::util::Xoshiro256 rng{42};
+    RunningStats stats;
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-5.0, 5.0);
+        xs.push_back(x);
+        stats.add(x);
+    }
+    EXPECT_EQ(stats.count(), 1000u);
+    EXPECT_NEAR(stats.mean(), tp::util::mean(xs), 1e-9);
+    double var = 0.0;
+    for (double x : xs) var += (x - stats.mean()) * (x - stats.mean());
+    var /= 999.0;
+    EXPECT_NEAR(stats.variance(), var, 1e-9);
+    EXPECT_LE(stats.min(), stats.mean());
+    EXPECT_GE(stats.max(), stats.mean());
+}
+
+TEST(Random, DeterministicForFixedSeed) {
+    tp::util::Xoshiro256 a{7};
+    tp::util::Xoshiro256 b{7};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Random, UniformInRange) {
+    tp::util::Xoshiro256 rng{3};
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Random, UniformIntCoversRange) {
+    tp::util::Xoshiro256 rng{11};
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == 0;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, NormalMomentsRoughlyStandard) {
+    tp::util::Xoshiro256 rng{19};
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+#include "flexfloat/stats.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "flexfloat/flexfloat.hpp"
+#include "flexfloat/flexfloat_dyn.hpp"
+
+namespace {
+
+using tp::FpOp;
+using tp::global_stats;
+
+class StatsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        global_stats().reset();
+        global_stats().set_enabled(true);
+    }
+    void TearDown() override {
+        global_stats().set_enabled(false);
+        global_stats().reset();
+    }
+};
+
+TEST_F(StatsTest, CountsTemplateOps) {
+    const tp::binary16_t a = 1.0;
+    const tp::binary16_t b = 2.0;
+    const auto c = a + b;
+    const auto d = c * a;
+    (void)d;
+    const auto counts = global_stats().counts_for(tp::kBinary16);
+    EXPECT_EQ(counts.total(FpOp::Add), 1u);
+    EXPECT_EQ(counts.total(FpOp::Mul), 1u);
+    EXPECT_EQ(counts.arithmetic_total(), 2u);
+}
+
+TEST_F(StatsTest, CountsDynOpsPerFormat) {
+    const tp::FlexFloatDyn a{1.0, tp::kBinary8};
+    const tp::FlexFloatDyn b{2.0, tp::kBinary8};
+    (void)(a + b);
+    (void)(a - b);
+    (void)(a * b);
+    const tp::FlexFloatDyn c{1.0, tp::kBinary32};
+    (void)(c + c);
+    EXPECT_EQ(global_stats().counts_for(tp::kBinary8).arithmetic_total(), 3u);
+    EXPECT_EQ(global_stats().counts_for(tp::kBinary32).arithmetic_total(), 1u);
+    EXPECT_EQ(global_stats().total_arithmetic(), 4u);
+}
+
+TEST_F(StatsTest, CountsCasts) {
+    const tp::binary32_t wide = 1.5f;
+    const auto narrow = tp::flexfloat_cast<5, 10>(wide);
+    (void)narrow;
+    const tp::FlexFloatDyn d{1.5, tp::kBinary32};
+    (void)d.cast_to(tp::kBinary8);
+    EXPECT_EQ(global_stats().total_casts(), 2u);
+    const auto& casts = global_stats().casts();
+    const auto it = casts.find({tp::kBinary32, tp::kBinary16});
+    ASSERT_NE(it, casts.end());
+    EXPECT_EQ(it->second[0], 1u);
+}
+
+TEST_F(StatsTest, VectorRegionSplitsCounts) {
+    const tp::binary16_t a = 1.0;
+    (void)(a + a); // scalar
+    {
+        const tp::VectorRegionGuard guard;
+        EXPECT_TRUE(tp::in_vector_region());
+        (void)(a + a); // vectorial
+        (void)(a * a);
+    }
+    EXPECT_FALSE(tp::in_vector_region());
+    const auto counts = global_stats().counts_for(tp::kBinary16);
+    EXPECT_EQ(counts.arithmetic_scalar(), 1u);
+    EXPECT_EQ(counts.arithmetic_vectorial(), 2u);
+}
+
+TEST_F(StatsTest, NestedVectorRegions) {
+    {
+        const tp::VectorRegionGuard outer;
+        {
+            const tp::VectorRegionGuard inner;
+            EXPECT_TRUE(tp::in_vector_region());
+        }
+        EXPECT_TRUE(tp::in_vector_region());
+    }
+    EXPECT_FALSE(tp::in_vector_region());
+}
+
+TEST_F(StatsTest, DisabledRegistryCountsNothing) {
+    global_stats().set_enabled(false);
+    const tp::binary16_t a = 1.0;
+    (void)(a + a);
+    EXPECT_EQ(global_stats().total_arithmetic(), 0u);
+}
+
+TEST_F(StatsTest, ResetClears) {
+    const tp::binary16_t a = 1.0;
+    (void)(a + a);
+    global_stats().reset();
+    EXPECT_EQ(global_stats().total_arithmetic(), 0u);
+    EXPECT_TRUE(global_stats().ops().empty());
+}
+
+TEST_F(StatsTest, ReportMentionsFormatsAndOps) {
+    const tp::binary8_t a = 1.0;
+    (void)(a * a);
+    std::ostringstream os;
+    global_stats().print_report(os);
+    const std::string report = os.str();
+    EXPECT_NE(report.find("e=5, m=2"), std::string::npos);
+    EXPECT_NE(report.find("mul=1"), std::string::npos);
+}
+
+TEST_F(StatsTest, DivSqrtNegAbsCmpTracked) {
+    const tp::binary16_t a = 2.25;
+    (void)(a / a);
+    (void)sqrt(a);
+    (void)(-a);
+    (void)abs(a);
+    (void)(a < a);
+    const auto counts = global_stats().counts_for(tp::kBinary16);
+    EXPECT_EQ(counts.total(FpOp::Div), 1u);
+    EXPECT_EQ(counts.total(FpOp::Sqrt), 1u);
+    EXPECT_EQ(counts.total(FpOp::Neg), 1u);
+    EXPECT_EQ(counts.total(FpOp::Abs), 1u);
+    EXPECT_EQ(counts.total(FpOp::Cmp), 1u);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+#include "tuning/search.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "tuning/config_io.hpp"
+#include "tuning/quality.hpp"
+
+namespace {
+
+using tp::tuning::distributed_search;
+using tp::tuning::SearchOptions;
+
+TEST(Quality, MeetsRequirementThresholds) {
+    const std::vector<double> golden{1.0, 2.0, 3.0};
+    const std::vector<double> close{1.01, 2.01, 3.01};
+    // Amplitude error ~0.0046 -> power ratio ~2.2e-5.
+    EXPECT_TRUE(tp::tuning::meets_requirement(golden, close, 1e-1));
+    EXPECT_TRUE(tp::tuning::meets_requirement(golden, close, 1e-4));
+    EXPECT_FALSE(tp::tuning::meets_requirement(golden, close, 1e-5));
+    EXPECT_TRUE(tp::tuning::meets_requirement(golden, golden, 0.0));
+}
+
+TEST(ConfigIo, RoundTrip) {
+    tp::tuning::PrecisionConfig config{{"grid", 12}, {"coeff", 3}};
+    std::stringstream ss;
+    tp::tuning::write_precision_config(ss, config);
+    const auto parsed = tp::tuning::read_precision_config(ss);
+    EXPECT_EQ(parsed, config);
+}
+
+TEST(ConfigIo, ParsesCommentsAndBlankLines) {
+    std::istringstream is{"# header\n\ngrid 12 # trailing\n  coeff 3\n"};
+    const auto parsed = tp::tuning::read_precision_config(is);
+    EXPECT_EQ(parsed.at("grid"), 12);
+    EXPECT_EQ(parsed.at("coeff"), 3);
+}
+
+TEST(ConfigIo, RejectsMalformedLines) {
+    std::istringstream missing{"grid\n"};
+    EXPECT_THROW((void)tp::tuning::read_precision_config(missing),
+                 std::runtime_error);
+    std::istringstream range{"grid 40\n"};
+    EXPECT_THROW((void)tp::tuning::read_precision_config(range),
+                 std::runtime_error);
+    std::istringstream trailing{"grid 5 junk\n"};
+    EXPECT_THROW((void)tp::tuning::read_precision_config(trailing),
+                 std::runtime_error);
+}
+
+SearchOptions fast_options(double epsilon, tp::TypeSystemKind kind) {
+    SearchOptions options;
+    options.epsilon = epsilon;
+    options.type_system = tp::TypeSystem{kind};
+    options.input_sets = {0, 1};
+    options.max_passes = 2;
+    return options;
+}
+
+TEST(Search, TunedConfigMeetsRequirementOnAllSets) {
+    auto app = tp::apps::make_app("conv");
+    const auto options = fast_options(1e-1, tp::TypeSystemKind::V2);
+    const auto result = distributed_search(*app, options);
+    ASSERT_EQ(result.signals.size(), app->signals().size());
+    EXPECT_GT(result.program_runs, 0u);
+
+    const auto config = result.type_config();
+    for (unsigned set : options.input_sets) {
+        const auto golden = app->golden(set);
+        app->prepare(set);
+        tp::sim::TpContext ctx{tp::sim::TpContext::Config{.trace = false}};
+        const auto out = app->run(ctx, config);
+        EXPECT_TRUE(tp::tuning::meets_requirement(golden, out, options.epsilon))
+            << "set " << set
+            << " err=" << tp::tuning::output_error(golden, out);
+    }
+}
+
+TEST(Search, LooserRequirementNeverNeedsMorePrecision) {
+    auto app = tp::apps::make_app("dwt");
+    const auto loose =
+        distributed_search(*app, fast_options(1e-1, tp::TypeSystemKind::V2));
+    const auto tight =
+        distributed_search(*app, fast_options(1e-3, tp::TypeSystemKind::V2));
+    std::size_t loose_total = 0;
+    std::size_t tight_total = 0;
+    for (std::size_t i = 0; i < loose.signals.size(); ++i) {
+        loose_total += static_cast<std::size_t>(loose.signals[i].precision_bits);
+        tight_total += static_cast<std::size_t>(tight.signals[i].precision_bits);
+    }
+    EXPECT_LE(loose_total, tight_total);
+}
+
+TEST(Search, SomeSignalsShrinkAtLooseRequirement) {
+    auto app = tp::apps::make_app("knn");
+    const auto result =
+        distributed_search(*app, fast_options(1e-1, tp::TypeSystemKind::V2));
+    bool any_narrow = false;
+    for (const auto& sr : result.signals) {
+        any_narrow = any_narrow || sr.bound != tp::FormatKind::Binary32;
+    }
+    EXPECT_TRUE(any_narrow) << "KNN at 1e-1 should scale below binary32";
+}
+
+TEST(Search, BindingMatchesTypeSystemBands) {
+    auto app = tp::apps::make_app("conv");
+    for (const auto kind : {tp::TypeSystemKind::V1, tp::TypeSystemKind::V2}) {
+        const auto result = distributed_search(*app, fast_options(1e-2, kind));
+        const tp::TypeSystem ts{kind};
+        for (const auto& sr : result.signals) {
+            EXPECT_EQ(sr.bound, ts.format_for_precision(sr.precision_bits));
+            if (kind == tp::TypeSystemKind::V1) {
+                EXPECT_NE(sr.bound, tp::FormatKind::Binary16Alt);
+            }
+        }
+    }
+}
+
+TEST(Search, TableAndHistogramAccounting) {
+    auto app = tp::apps::make_app("svm");
+    const auto result =
+        distributed_search(*app, fast_options(1e-1, tp::TypeSystemKind::V2));
+    const auto per_format = result.variables_per_format();
+    int total = 0;
+    for (int count : per_format) total += count;
+    EXPECT_EQ(total, static_cast<int>(result.signals.size()));
+
+    const auto histogram = result.locations_per_precision();
+    std::size_t locations = 0;
+    for (std::size_t bits = 1; bits <= tp::kMaxPrecisionBits; ++bits) {
+        locations += histogram[bits];
+    }
+    std::size_t expected = 0;
+    for (const auto& spec : app->signals()) expected += spec.elements;
+    EXPECT_EQ(locations, expected);
+}
+
+TEST(Search, PrecisionConfigExport) {
+    auto app = tp::apps::make_app("conv");
+    const auto result =
+        distributed_search(*app, fast_options(1e-1, tp::TypeSystemKind::V1));
+    const auto config = result.precision_config();
+    EXPECT_EQ(config.size(), result.signals.size());
+    for (const auto& sr : result.signals) {
+        EXPECT_EQ(config.at(sr.name), sr.precision_bits);
+    }
+}
+
+TEST(Search, DeterministicAcrossRuns) {
+    auto app1 = tp::apps::make_app("dwt");
+    auto app2 = tp::apps::make_app("dwt");
+    const auto a =
+        distributed_search(*app1, fast_options(1e-2, tp::TypeSystemKind::V2));
+    const auto b =
+        distributed_search(*app2, fast_options(1e-2, tp::TypeSystemKind::V2));
+    ASSERT_EQ(a.signals.size(), b.signals.size());
+    for (std::size_t i = 0; i < a.signals.size(); ++i) {
+        EXPECT_EQ(a.signals[i].precision_bits, b.signals[i].precision_bits);
+    }
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+#include "types/type_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tp::FormatKind;
+using tp::kTypeSystemV1;
+using tp::kTypeSystemV2;
+
+TEST(TypeSystem, V1BandsMatchPaper) {
+    // (0,3] -> binary8, (3,11] -> binary16, above -> binary32.
+    for (int p = 1; p <= 3; ++p) {
+        EXPECT_EQ(kTypeSystemV1.format_for_precision(p), FormatKind::Binary8) << p;
+    }
+    for (int p = 4; p <= 11; ++p) {
+        EXPECT_EQ(kTypeSystemV1.format_for_precision(p), FormatKind::Binary16) << p;
+    }
+    for (int p = 12; p <= tp::kMaxPrecisionBits; ++p) {
+        EXPECT_EQ(kTypeSystemV1.format_for_precision(p), FormatKind::Binary32) << p;
+    }
+}
+
+TEST(TypeSystem, V2BandsMatchPaper) {
+    // (0,3] -> binary8, (3,8] -> binary16alt, (8,11] -> binary16,
+    // above -> binary32. Column 9 of Fig. 4 is "the minimum number of
+    // precision bits required for a binary16 type" in V2.
+    for (int p = 1; p <= 3; ++p) {
+        EXPECT_EQ(kTypeSystemV2.format_for_precision(p), FormatKind::Binary8) << p;
+    }
+    for (int p = 4; p <= 8; ++p) {
+        EXPECT_EQ(kTypeSystemV2.format_for_precision(p), FormatKind::Binary16Alt)
+            << p;
+    }
+    for (int p = 9; p <= 11; ++p) {
+        EXPECT_EQ(kTypeSystemV2.format_for_precision(p), FormatKind::Binary16) << p;
+    }
+    for (int p = 12; p <= tp::kMaxPrecisionBits; ++p) {
+        EXPECT_EQ(kTypeSystemV2.format_for_precision(p), FormatKind::Binary32) << p;
+    }
+}
+
+TEST(TypeSystem, HypothesisMapExponents) {
+    // The dynamic-range hypothesis assigns e=5 to binary8/16 bands and e=8
+    // to binary16alt/32 bands.
+    EXPECT_EQ(kTypeSystemV1.exp_bits_for_precision(2), 5);
+    EXPECT_EQ(kTypeSystemV1.exp_bits_for_precision(8), 5);
+    EXPECT_EQ(kTypeSystemV1.exp_bits_for_precision(15), 8);
+    EXPECT_EQ(kTypeSystemV2.exp_bits_for_precision(2), 5);
+    EXPECT_EQ(kTypeSystemV2.exp_bits_for_precision(8), 8);
+    EXPECT_EQ(kTypeSystemV2.exp_bits_for_precision(10), 5);
+    EXPECT_EQ(kTypeSystemV2.exp_bits_for_precision(20), 8);
+}
+
+TEST(TypeSystem, TrialFormats) {
+    // Trial format carries precision-1 stored mantissa bits.
+    EXPECT_EQ(kTypeSystemV2.trial_format(3), (tp::FpFormat{5, 2}));
+    EXPECT_EQ(kTypeSystemV2.trial_format(8), (tp::FpFormat{8, 7}));
+    EXPECT_EQ(kTypeSystemV2.trial_format(11), (tp::FpFormat{5, 10}));
+    EXPECT_EQ(kTypeSystemV2.trial_format(24), (tp::FpFormat{8, 23}));
+    EXPECT_EQ(kTypeSystemV1.trial_format(24), (tp::FpFormat{8, 23}));
+    // Mid-band trials shrink only the mantissa, keeping the band's range.
+    EXPECT_EQ(kTypeSystemV2.trial_format(6), (tp::FpFormat{8, 5}));
+    EXPECT_EQ(kTypeSystemV1.trial_format(6), (tp::FpFormat{5, 5}));
+}
+
+TEST(TypeSystem, BandBoundariesBindToFullFormats) {
+    // At each band's top, the trial format IS the concrete bound format.
+    EXPECT_EQ(kTypeSystemV2.trial_format(3), tp::format_of(FormatKind::Binary8));
+    EXPECT_EQ(kTypeSystemV2.trial_format(8),
+              tp::format_of(FormatKind::Binary16Alt));
+    EXPECT_EQ(kTypeSystemV2.trial_format(11),
+              tp::format_of(FormatKind::Binary16));
+    EXPECT_EQ(kTypeSystemV2.trial_format(24),
+              tp::format_of(FormatKind::Binary32));
+}
+
+TEST(TypeSystem, Membership) {
+    EXPECT_TRUE(kTypeSystemV1.contains(FormatKind::Binary8));
+    EXPECT_TRUE(kTypeSystemV1.contains(FormatKind::Binary32));
+    EXPECT_FALSE(kTypeSystemV1.contains(FormatKind::Binary16Alt));
+    EXPECT_TRUE(kTypeSystemV2.contains(FormatKind::Binary16Alt));
+    EXPECT_EQ(kTypeSystemV1.member_count(), 3);
+    EXPECT_EQ(kTypeSystemV2.member_count(), 4);
+}
+
+TEST(TypeSystem, Names) {
+    EXPECT_EQ(kTypeSystemV1.name(), "V1");
+    EXPECT_EQ(kTypeSystemV2.name(), "V2");
+}
+
+} // namespace
