@@ -9,15 +9,22 @@
 // energy of the plain DistributedSearch binding against the cast-aware
 // refinement (greedy re-binding with the simulated energy as objective,
 // quality re-verified on all input sets).
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 
 #include "harness.hpp"
 #include "tuning/cast_aware.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    // Optional worker-thread count for the tuning engine; any value
+    // produces identical tables (search.hpp's determinism contract).
+    const unsigned threads = static_cast<unsigned>(
+        argc > 1 ? std::clamp(std::atoi(argv[1]), 1, 64) : 1);
     std::cout << "=== Future work (paper SVI): cast-aware multi-objective "
-                 "tuning ===\n\n";
+                 "tuning ===\n";
+    std::cout << "(tuning threads: " << threads << ")\n\n";
     for (const double epsilon : {1e-2, 1e-3}) {
         std::cout << "-- precision requirement " << epsilon << " --\n";
         tp::util::Table table({"app", "casts before", "casts after",
@@ -27,6 +34,7 @@ int main() {
             tp::tuning::CastAwareOptions options;
             options.search =
                 tp::bench::bench_search_options(epsilon, tp::TypeSystemKind::V2);
+            options.search.threads = threads;
             const auto result = tp::tuning::cast_aware_search(*app, options);
             const auto baseline = tp::bench::simulate_baseline(*app);
             const double base = baseline.energy.total();

@@ -1,0 +1,90 @@
+// Wall-clock comparison of the serial and parallel precision-tuning
+// engines (tuning/search.hpp).
+//
+// Tuning dominates the pipeline's wall-clock cost: DistributedSearch runs
+// the target program hundreds of times per application. The parallel
+// engine dispatches per-signal precision probes and per-input-set
+// refinement evaluations onto a thread pool; this bench times the same
+// search at several thread counts and verifies the determinism contract
+// (every thread count returns a bit-identical TuningResult). Expect ~2x or
+// better at 4 threads on a 4-core machine for PCA; a single-core container
+// still verifies determinism, it just cannot show a speedup.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "tuning/search.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool identical(const tp::tuning::TuningResult& a,
+               const tp::tuning::TuningResult& b) {
+    if (a.program_runs != b.program_runs) return false;
+    if (a.signals.size() != b.signals.size()) return false;
+    for (std::size_t i = 0; i < a.signals.size(); ++i) {
+        if (a.signals[i].name != b.signals[i].name ||
+            a.signals[i].precision_bits != b.signals[i].precision_bits ||
+            a.signals[i].bound != b.signals[i].bound) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int main() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("# parallel tuning engine — PCA, epsilon 1e-2, type system V2\n");
+    std::printf("# hardware threads: %u\n\n", hw);
+    std::printf("%-8s %-12s %-12s %-10s %s\n", "threads", "seconds", "runs",
+                "speedup", "identical");
+
+    tp::tuning::SearchOptions options;
+    options.epsilon = 1e-2;
+    options.type_system = tp::TypeSystem{tp::TypeSystemKind::V2};
+    options.input_sets = {0, 1, 2};
+
+    double serial_seconds = 0.0;
+    tp::tuning::TuningResult serial_result;
+    bool all_identical = true;
+
+    constexpr int kReps = 10; // amortizes pool startup and timer noise
+    for (const unsigned threads : std::vector<unsigned>{1, 2, 4, 8}) {
+        auto app = tp::apps::make_app("pca");
+        options.threads = threads;
+        const auto start = Clock::now();
+        tp::tuning::TuningResult result;
+        for (int rep = 0; rep < kReps; ++rep) {
+            result = tp::tuning::distributed_search(*app, options);
+        }
+        const double elapsed = seconds_since(start) / kReps;
+
+        bool matches = true;
+        if (threads == 1) {
+            serial_seconds = elapsed;
+            serial_result = result;
+        } else {
+            matches = identical(serial_result, result);
+            all_identical = all_identical && matches;
+        }
+        std::printf("%-8u %-12.3f %-12zu %-10.2f %s\n", threads, elapsed,
+                    result.program_runs, serial_seconds / elapsed,
+                    matches ? "yes" : "NO");
+    }
+
+    if (!all_identical) {
+        std::printf("\nFAIL: parallel result diverged from the serial path\n");
+        return 1;
+    }
+    std::printf("\nall thread counts returned bit-identical TuningResults\n");
+    return 0;
+}

@@ -42,16 +42,16 @@ int main(int argc, char** argv) {
     const auto golden = app->golden(3);
     app->prepare(3);
     tp::sim::TpContext ctx{tp::sim::TpContext::Config{.trace = false}};
-    tp::global_stats().set_enabled(true);
-    tp::global_stats().reset();
+    tp::thread_stats().set_enabled(true);
+    tp::thread_stats().reset();
     const auto out = app->run(ctx, result.type_config());
-    tp::global_stats().set_enabled(false);
+    tp::thread_stats().set_enabled(false);
     std::cout << "\nquality on an unseen input set: error="
               << tp::tuning::output_error(golden, out)
               << " (SQNR=" << tp::tuning::output_sqnr(golden, out) << ")\n\n";
 
     std::cout << "operation report (programming-flow step 4):\n";
-    tp::global_stats().print_report(std::cout);
+    tp::thread_stats().print_report(std::cout);
 
     std::cout << "\nconfiguration file (the DistributedSearch contract):\n";
     tp::tuning::write_precision_config(std::cout, result.precision_config());

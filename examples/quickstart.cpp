@@ -48,8 +48,8 @@ int main() {
     std::cout << "  0.7 + 0.2 at (e=8, m=5) = " << (x + y) << "\n";
 
     std::cout << "\n--- 5. operation statistics (programming-flow step 4) ---\n";
-    tp::global_stats().set_enabled(true);
-    tp::global_stats().reset();
+    tp::thread_stats().set_enabled(true);
+    tp::thread_stats().reset();
     tp::binary8_t acc = 0.0;
     {
         tp::VectorRegionGuard vectorizable; // manual tag, as in the paper
@@ -58,7 +58,7 @@ int main() {
         }
     }
     (void)tp::flexfloat_cast<5, 10>(acc);
-    tp::global_stats().print_report(std::cout);
-    tp::global_stats().set_enabled(false);
+    tp::thread_stats().print_report(std::cout);
+    tp::thread_stats().set_enabled(false);
     return 0;
 }

@@ -68,6 +68,11 @@ public:
     [[nodiscard]] virtual std::string_view name() const = 0;
     [[nodiscard]] virtual std::vector<SignalSpec> signals() const = 0;
 
+    /// Deep copy, including any prepared workload. The parallel tuning
+    /// engine gives each worker thread its own clone so trial evaluations
+    /// never share mutable state.
+    [[nodiscard]] virtual std::unique_ptr<App> clone() const = 0;
+
     /// Regenerates the workload for the given input set (deterministic).
     virtual void prepare(unsigned input_set) = 0;
 

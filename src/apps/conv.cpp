@@ -21,6 +21,10 @@ class Conv final : public App {
 public:
     [[nodiscard]] std::string_view name() const override { return "conv"; }
 
+    [[nodiscard]] std::unique_ptr<App> clone() const override {
+        return std::make_unique<Conv>(*this);
+    }
+
     [[nodiscard]] std::vector<SignalSpec> signals() const override {
         return {
             {"image", kImage * kImage},   // input pixels

@@ -29,6 +29,10 @@ class Dwt final : public App {
 public:
     [[nodiscard]] std::string_view name() const override { return "dwt"; }
 
+    [[nodiscard]] std::unique_ptr<App> clone() const override {
+        return std::make_unique<Dwt>(*this);
+    }
+
     [[nodiscard]] std::vector<SignalSpec> signals() const override {
         return {
             {"signal", kLength},           // input samples

@@ -20,6 +20,10 @@ class Jacobi final : public App {
 public:
     [[nodiscard]] std::string_view name() const override { return "jacobi"; }
 
+    [[nodiscard]] std::unique_ptr<App> clone() const override {
+        return std::make_unique<Jacobi>(*this);
+    }
+
     [[nodiscard]] std::vector<SignalSpec> signals() const override {
         return {
             {"grid_in", kN * kN}, // the initial temperature field

@@ -25,6 +25,10 @@ class Knn final : public App {
 public:
     [[nodiscard]] std::string_view name() const override { return "knn"; }
 
+    [[nodiscard]] std::unique_ptr<App> clone() const override {
+        return std::make_unique<Knn>(*this);
+    }
+
     [[nodiscard]] std::vector<SignalSpec> signals() const override {
         return {
             {"train", kPoints * kDim}, // reference point coordinates

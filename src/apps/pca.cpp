@@ -30,6 +30,10 @@ public:
         return manual_vec_ ? "pca-manual-vec" : "pca";
     }
 
+    [[nodiscard]] std::unique_ptr<App> clone() const override {
+        return std::make_unique<Pca>(*this);
+    }
+
     [[nodiscard]] std::vector<SignalSpec> signals() const override {
         return {
             {"data", kSamples * kFeatures},     // input samples

@@ -27,6 +27,10 @@ class Svm final : public App {
 public:
     [[nodiscard]] std::string_view name() const override { return "svm"; }
 
+    [[nodiscard]] std::unique_ptr<App> clone() const override {
+        return std::make_unique<Svm>(*this);
+    }
+
     [[nodiscard]] std::vector<SignalSpec> signals() const override {
         return {
             {"sv", kSupportVectors * kDim}, // support vector coordinates

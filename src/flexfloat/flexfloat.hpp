@@ -60,8 +60,8 @@ public:
     template <int E2, int M2>
     explicit flexfloat(const flexfloat<E2, M2>& other) noexcept
         : value_(detail::sanitize(static_cast<double>(other), format())) {
-        if (global_stats().enabled()) {
-            global_stats().record_cast(FpFormat{E2, M2}, format());
+        if (thread_stats().enabled()) {
+            thread_stats().record_cast(FpFormat{E2, M2}, format());
         }
     }
 
@@ -159,7 +159,7 @@ private:
         return result;
     }
     static void record(FpOp op) noexcept {
-        if (global_stats().enabled()) global_stats().record_op(format(), op);
+        if (thread_stats().enabled()) thread_stats().record_op(format(), op);
     }
 
     double value_ = 0.0;

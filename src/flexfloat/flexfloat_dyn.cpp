@@ -18,7 +18,7 @@ FlexFloatDyn FlexFloatDyn::from_bits(std::uint64_t bits, FpFormat format) noexce
 }
 
 FlexFloatDyn FlexFloatDyn::cast_to(FpFormat target) const noexcept {
-    if (global_stats().enabled()) global_stats().record_cast(format_, target);
+    if (thread_stats().enabled()) thread_stats().record_cast(format_, target);
     return FlexFloatDyn{value_, target};
 }
 

@@ -104,7 +104,7 @@ private:
         return FlexFloatDyn{raw, a.format_};
     }
     static void record(FpFormat format, FpOp op) noexcept {
-        if (global_stats().enabled()) global_stats().record_op(format, op);
+        if (thread_stats().enabled()) thread_stats().record_op(format, op);
     }
     static void record_cmp(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
         assert(a.format_ == b.format_);

@@ -104,8 +104,8 @@ void StatsRegistry::print_report(std::ostream& os) const {
     }
 }
 
-StatsRegistry& global_stats() noexcept {
-    static StatsRegistry registry;
+StatsRegistry& thread_stats() noexcept {
+    thread_local StatsRegistry registry;
     return registry;
 }
 

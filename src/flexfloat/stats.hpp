@@ -66,10 +66,12 @@ struct OpCounts {
     }
 };
 
-/// Collects FP operation and cast statistics. A single process-wide
-/// instance (global_stats()) backs both the flexfloat<E,M> template and
+/// Collects FP operation and cast statistics. One instance per thread
+/// (thread_stats()) backs both the flexfloat<E,M> template and
 /// FlexFloatDyn; it is disabled by default so that un-instrumented code
-/// pays only a branch.
+/// pays only a branch. Thread confinement means concurrent tuning workers
+/// (each owning a private TpContext and app clone) never share counter
+/// state, so instrumented and parallel code can coexist without locks.
 class StatsRegistry {
 public:
     void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
@@ -102,7 +104,8 @@ private:
     std::map<CastKey, std::array<std::uint64_t, 2>> casts_;
 };
 
-/// The process-wide registry used by default by all FlexFloat values.
-[[nodiscard]] StatsRegistry& global_stats() noexcept;
+/// The calling thread's registry, used by default by all FlexFloat values
+/// created on that thread.
+[[nodiscard]] StatsRegistry& thread_stats() noexcept;
 
 } // namespace tp

@@ -17,8 +17,10 @@ const char* fmt_suffix(FpFormat format) noexcept {
     return "?";
 }
 
-std::string freg(std::uint8_t r) { return "f" + std::to_string(r); }
-std::string xreg(std::uint8_t r) { return "x" + std::to_string(r); }
+// Built via append rather than operator+ — GCC 12's -Wrestrict misfires on
+// `"f" + std::to_string(r)` (PR105651).
+std::string freg(std::uint8_t r) { return std::string{"f"}.append(std::to_string(r)); }
+std::string xreg(std::uint8_t r) { return std::string{"x"}.append(std::to_string(r)); }
 
 const char* mem_mnemonic(bool load, int bytes) noexcept {
     if (load) {

@@ -113,7 +113,7 @@ TpValue TpContext::from_int(std::int64_t value, FpFormat format) {
         instr.dst = id = next_id();
         trace_.push_back(instr);
     }
-    if (global_stats().enabled()) global_stats().record_op(format, FpOp::FromInt);
+    if (thread_stats().enabled()) thread_stats().record_op(format, FpOp::FromInt);
     return TpValue{this, FlexFloatDyn{static_cast<double>(value), format}, id};
 }
 

@@ -10,7 +10,10 @@ namespace tp::softfloat {
 namespace {
 
 using u64 = std::uint64_t;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic" // __int128 is a GNU extension
 using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
 
 enum class Class : std::uint8_t { Zero, Finite, Inf, NaN };
 

@@ -1,8 +1,11 @@
 #include "tuning/cast_aware.hpp"
 
 #include <array>
+#include <memory>
+#include <vector>
 
 #include "tuning/quality.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tp::tuning {
 namespace {
@@ -12,6 +15,8 @@ struct Cost {
     std::uint64_t casts = 0;
 };
 
+/// Simulated platform cost of one binding. Pure in `app` — the caller hands
+/// each concurrent evaluation its own clone.
 Cost platform_cost(apps::App& app, const apps::TypeConfig& config,
                    const CastAwareOptions& options) {
     app.prepare(options.cost_input_set);
@@ -21,14 +26,33 @@ Cost platform_cost(apps::App& app, const apps::TypeConfig& config,
     return Cost{report.energy.total(), report.casts};
 }
 
-bool meets_everywhere(apps::App& app, const apps::TypeConfig& config,
+/// Quality check on every input set. Per-set evaluations are independent
+/// and run on the pool when one is available; the serial path keeps the
+/// first-failure short-circuit. The conjunction over sets is
+/// order-independent and feeds no run counter, so both paths return the
+/// same boolean.
+bool meets_everywhere(util::ThreadPool* pool, const apps::App& prototype,
+                      const apps::TypeConfig& config,
                       const CastAwareOptions& options) {
-    for (unsigned set : options.search.input_sets) {
-        const auto golden = app.golden(set);
-        app.prepare(set);
+    const auto check_set = [&prototype, &config, &options](std::size_t s) -> char {
+        const unsigned set = options.search.input_sets[s];
+        const std::unique_ptr<apps::App> app = prototype.clone();
+        const auto golden = app->golden(set);
+        app->prepare(set);
         sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
-        const auto out = app.run(ctx, config);
-        if (!meets_requirement(golden, out, options.search.epsilon)) return false;
+        const auto out = app->run(ctx, config);
+        return meets_requirement(golden, out, options.search.epsilon) ? 1 : 0;
+    };
+    if (pool == nullptr) {
+        for (std::size_t s = 0; s < options.search.input_sets.size(); ++s) {
+            if (check_set(s) == 0) return false;
+        }
+        return true;
+    }
+    const std::vector<char> passed =
+        util::indexed_map(pool, options.search.input_sets.size(), check_set);
+    for (const char ok : passed) {
+        if (ok == 0) return false;
     }
     return true;
 }
@@ -39,6 +63,12 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
     CastAwareResult result;
     result.base = distributed_search(app, options.search);
     result.config = result.base.type_config();
+
+    std::unique_ptr<util::ThreadPool> owned_pool;
+    if (options.search.threads > 1) {
+        owned_pool = std::make_unique<util::ThreadPool>(options.search.threads);
+    }
+    util::ThreadPool* pool = owned_pool.get();
 
     const Cost base_cost = platform_cost(app, result.config, options);
     result.base_energy_pj = base_cost.energy_pj;
@@ -55,21 +85,41 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
         bool improved = false;
         for (const SignalResult& sr : result.base.signals) {
             const FpFormat original = current.at(sr.name);
-            FpFormat best = original;
-            Cost best_cost = current_cost;
+
+            // Re-binding candidates for this signal, in fixed member order.
+            std::vector<FpFormat> candidates;
             for (const FormatKind kind : members) {
                 if (!options.search.type_system.contains(kind)) continue;
                 const FpFormat candidate = format_of(kind);
                 if (candidate == original) continue;
-                current.set(sr.name, candidate);
-                const Cost cost = platform_cost(app, current, options);
-                // Energy must strictly improve; quality is re-verified on
-                // every input set before accepting (the expensive check
-                // runs only on otherwise-improving moves).
-                if (cost.energy_pj < best_cost.energy_pj &&
-                    meets_everywhere(app, current, options)) {
-                    best = candidate;
-                    best_cost = cost;
+                candidates.push_back(candidate);
+            }
+
+            // Cost probes are independent given `current`: fan them out,
+            // each on a private app clone.
+            const std::vector<Cost> costs = util::indexed_map(
+                pool, candidates.size(),
+                [&app, &current, &options, &candidates,
+                 &sr](std::size_t k) -> Cost {
+                    apps::TypeConfig config = current;
+                    config.set(sr.name, candidates[k]);
+                    const std::unique_ptr<apps::App> clone = app.clone();
+                    return platform_cost(*clone, config, options);
+                });
+
+            // Deterministic acceptance: scan candidates in member order;
+            // energy must strictly improve, and quality is re-verified on
+            // every input set before accepting (the expensive check runs
+            // only on otherwise-improving moves).
+            FpFormat best = original;
+            Cost best_cost = current_cost;
+            for (std::size_t k = 0; k < candidates.size(); ++k) {
+                if (costs[k].energy_pj >= best_cost.energy_pj) continue;
+                apps::TypeConfig config = current;
+                config.set(sr.name, candidates[k]);
+                if (meets_everywhere(pool, app, config, options)) {
+                    best = candidates[k];
+                    best_cost = costs[k];
                 }
             }
             current.set(sr.name, best);

@@ -22,7 +22,9 @@
 namespace tp::tuning {
 
 struct CastAwareOptions {
-    SearchOptions search;      // phase 1: plain DistributedSearch
+    SearchOptions search;      // phase 1: plain DistributedSearch;
+                               // search.threads also parallelizes this
+                               // pass's candidate-cost and quality probes
     bool simd = true;          // platform configuration for the cost oracle
     int max_rounds = 4;        // greedy sweeps over all variables
     unsigned cost_input_set = 0; // workload used for energy evaluation

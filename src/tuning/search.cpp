@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <utility>
 
 #include "tuning/quality.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tp::tuning {
 namespace {
@@ -12,6 +15,13 @@ namespace {
 struct InputSet {
     unsigned index = 0;
     std::vector<double> golden;
+};
+
+/// Outcome of one per-signal precision probe (a binary search run as a
+/// single pool task).
+struct ProbeResult {
+    int precision_bits = kMaxPrecisionBits;
+    std::size_t runs = 0;
 };
 
 class Searcher {
@@ -25,11 +35,14 @@ public:
         for (unsigned set : options.input_sets) {
             sets_.push_back(InputSet{set, app_.golden(set)});
         }
+        if (options.threads > 1) {
+            pool_ = std::make_unique<util::ThreadPool>(options.threads);
+        }
     }
 
     TuningResult run() {
         const std::size_t n = names_.size();
-        std::vector<int> joined(n, 1);
+        std::vector<int> joined(n, kMinPrecisionBits);
 
         // Phase 1: independent search per input set; Phase 2 joins by
         // taking the per-variable maximum (the "statistical refinement").
@@ -42,22 +55,14 @@ public:
 
         // The joined binding can still fail on some set (precision demands
         // interact); repair by widening the narrowest signals first.
-        for (int round = 0; round < options_.max_refinement_rounds; ++round) {
-            const InputSet* failing = first_failing_set(joined, /*bound=*/false);
-            if (failing == nullptr) break;
-            widen_for_set(*failing, joined, /*bound=*/false);
-        }
+        repair(joined, /*bound=*/false);
 
         // Final check under the *bound* formats: binding substitutes the
         // band's concrete type for the trial format, which carries more
         // mantissa bits — usually at least as accurate, but rounding is not
         // monotone in precision, so the requirement is re-verified with the
         // formats the program will actually ship with.
-        for (int round = 0; round < options_.max_refinement_rounds; ++round) {
-            const InputSet* failing = first_failing_set(joined, /*bound=*/true);
-            if (failing == nullptr) break;
-            widen_for_set(*failing, joined, /*bound=*/true);
-        }
+        repair(joined, /*bound=*/true);
 
         TuningResult result;
         result.type_system = options_.type_system.kind();
@@ -75,12 +80,13 @@ public:
     }
 
 private:
-    /// Executes the program with the given per-signal precision bits and
-    /// checks the quality requirement on one input set. With `bound` the
+    /// Executes `app` with the given per-signal precision bits and checks
+    /// the quality requirement on one input set. With `bound` the
     /// evaluation uses the concrete type each precision binds to instead
-    /// of the trial format.
-    bool trial(const InputSet& set, const std::vector<int>& bits,
-               bool bound = false) {
+    /// of the trial format. Pure: touches only `app` (which the caller
+    /// owns) — this is the unit of work the thread pool schedules.
+    bool trial(apps::App& app, const InputSet& set, const std::vector<int>& bits,
+               bool bound) const {
         apps::TypeConfig config;
         for (std::size_t i = 0; i < names_.size(); ++i) {
             const FpFormat format =
@@ -88,62 +94,112 @@ private:
                       : options_.type_system.trial_format(bits[i]);
             config.set(names_[i], format);
         }
-        app_.prepare(set.index);
+        app.prepare(set.index);
         sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
-        const std::vector<double> out = app_.run(ctx, config);
-        ++runs_;
+        const std::vector<double> out = app.run(ctx, config);
         return meets_requirement(set.golden, out, options_.epsilon);
     }
 
-    /// Greedy sweeps with per-variable binary search, one input set.
+    /// trial() on the shared prototype app — serial sections only.
+    bool trial_counted(const InputSet& set, const std::vector<int>& bits,
+                       bool bound) {
+        ++runs_;
+        return trial(app_, set, bits, bound);
+    }
+
+    /// Greedy passes over all signals, one input set. Within a pass every
+    /// signal is probed against the *pass-start* binding, which makes the
+    /// probes independent of one another — the parallel axis — at the cost
+    /// of a repair step when the combined proposals overshoot.
     std::vector<int> search_one_set(const InputSet& set) {
         const std::size_t n = names_.size();
         std::vector<int> bits(n, kMaxPrecisionBits);
         for (int pass = 0; pass < options_.max_passes; ++pass) {
+            const std::vector<ProbeResult> probes = util::indexed_map(
+                pool_.get(), n, [this, &set, &bits](std::size_t i) {
+                    return probe(set, bits, i);
+                });
             bool changed = false;
             for (std::size_t i = 0; i < n; ++i) {
-                const int before = bits[i];
-                bits[i] = minimize_one(set, bits, i);
-                changed = changed || bits[i] != before;
+                runs_ += probes[i].runs;
+                changed = changed || probes[i].precision_bits != bits[i];
             }
             if (!changed) break;
+            const std::vector<int> before = bits;
+            for (std::size_t i = 0; i < n; ++i) {
+                bits[i] = probes[i].precision_bits;
+            }
+            // Each probe assumed the others kept their pass-start precision;
+            // the combined proposals can miss the requirement. Re-establish
+            // a passing binding before the next pass sharpens it.
+            widen_for_set(set, bits, /*bound=*/false);
+            // If the repair reverted every proposal, the next pass would
+            // deterministically repeat the identical probes — fixpoint.
+            if (bits == before) break;
         }
         return bits;
     }
 
-    /// Lowest precision of variable `i` that passes, holding the others
-    /// fixed. Quality is monotone in precision to a good approximation;
-    /// a final verification guards against the rare non-monotone case.
-    int minimize_one(const InputSet& set, std::vector<int>& bits, std::size_t i) {
+    /// Lowest precision of signal `i` that passes on `set`, holding every
+    /// other signal at its value in `frozen`. Quality is monotone in
+    /// precision to a good approximation; a final verification guards
+    /// against the rare non-monotone case. Runs as one pool task with a
+    /// private app clone.
+    ProbeResult probe(const InputSet& set, const std::vector<int>& frozen,
+                      std::size_t i) const {
+        const std::unique_ptr<apps::App> app = app_.clone();
+        std::vector<int> bits = frozen;
+        ProbeResult result;
         const int original = bits[i];
-        int lo = 1;
+        int lo = kMinPrecisionBits;
         int hi = original;
         while (lo < hi) {
             const int mid = lo + (hi - lo) / 2;
             bits[i] = mid;
-            if (trial(set, bits)) {
+            ++result.runs;
+            if (trial(*app, set, bits, /*bound=*/false)) {
                 hi = mid;
             } else {
                 lo = mid + 1;
             }
         }
         bits[i] = lo;
-        if (lo == original || trial(set, bits)) return lo;
-        bits[i] = original; // non-monotone corner: keep the known-good value
-        return original;
+        result.precision_bits = lo;
+        if (lo != original) {
+            ++result.runs;
+            if (!trial(*app, set, bits, /*bound=*/false)) {
+                // Non-monotone corner: keep the known-good value.
+                result.precision_bits = original;
+            }
+        }
+        return result;
     }
 
-    const InputSet* first_failing_set(const std::vector<int>& bits, bool bound) {
-        for (const InputSet& set : sets_) {
-            if (!trial(set, bits, bound)) return &set;
+    /// Widens `bits` until every input set passes, or the round budget is
+    /// spent. Each round evaluates all sets (concurrently when a pool is
+    /// available) and repairs the lowest-indexed failing one.
+    void repair(std::vector<int>& bits, bool bound) {
+        for (int round = 0; round < options_.max_refinement_rounds; ++round) {
+            const std::vector<char> passed = util::indexed_map(
+                pool_.get(), sets_.size(),
+                [this, &bits, bound](std::size_t s) -> char {
+                    const std::unique_ptr<apps::App> app = app_.clone();
+                    return trial(*app, sets_[s], bits, bound) ? 1 : 0;
+                });
+            runs_ += sets_.size();
+            const auto failing = std::find(passed.begin(), passed.end(), 0);
+            if (failing == passed.end()) break;
+            const std::size_t s =
+                static_cast<std::size_t>(failing - passed.begin());
+            widen_for_set(sets_[s], bits, bound);
         }
-        return nullptr;
     }
 
     /// Widens precisions until `set` passes, preferring the narrowest
     /// variables (those most likely responsible for the quality loss).
+    /// Inherently sequential: every step depends on the previous trial.
     void widen_for_set(const InputSet& set, std::vector<int>& bits, bool bound) {
-        while (!trial(set, bits, bound)) {
+        while (!trial_counted(set, bits, bound)) {
             std::size_t narrowest = names_.size();
             for (std::size_t i = 0; i < bits.size(); ++i) {
                 if (bits[i] >= kMaxPrecisionBits) continue;
@@ -161,6 +217,7 @@ private:
     std::vector<std::string> names_;
     std::vector<std::size_t> elements_;
     std::vector<InputSet> sets_;
+    std::unique_ptr<util::ThreadPool> pool_;
     std::size_t runs_ = 0;
 };
 

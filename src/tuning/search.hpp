@@ -13,6 +13,26 @@
 // The dynamic range of each trial follows the type system's hypothesis map
 // (types/type_system.hpp): DistributedSearch itself never tunes exponent
 // widths, exactly as in the paper.
+//
+// Determinism contract of the parallel engine
+// -------------------------------------------
+// With SearchOptions::threads > 1, independent trials are dispatched onto a
+// fixed-size thread pool: the per-signal precision probes inside a greedy
+// pass (each a binary search holding every other signal at its pass-start
+// precision) and the per-input-set quality evaluations of the refinement
+// phase. The result is bit-identical to the serial path (threads == 1)
+// because:
+//   * every task is a pure function of its inputs — it owns a private
+//     apps::App clone and sim::TpContext, and FlexFloat arithmetic is
+//     deterministic double arithmetic, so a trial's outcome does not depend
+//     on which thread runs it or when;
+//   * reductions are by task index, never by completion order: probe
+//     results are applied in signal order, per-set search results are
+//     joined in input-set order, the refinement phase repairs the
+//     lowest-indexed failing set, and trial counts are summed in index
+//     order;
+//   * the serial path executes the exact same trials in the same index
+//     order inline, so program_runs also matches bit-for-bit.
 #pragma once
 
 #include <array>
@@ -31,6 +51,10 @@ struct SearchOptions {
     std::vector<unsigned> input_sets{0, 1, 2};
     int max_refinement_rounds = 64;
     int max_passes = 3; // greedy sweeps per input set
+    /// Worker threads for trial evaluation. 1 runs the serial reference
+    /// path; any value returns the same TuningResult (see the determinism
+    /// contract above).
+    unsigned threads = 1;
 };
 
 struct SignalResult {

@@ -32,6 +32,12 @@ enum class TypeSystemKind : std::uint8_t { V1 = 0, V2 = 1 };
 /// systems.
 inline constexpr int kMaxPrecisionBits = 24;
 
+/// Minimum precision the tuner may probe. FpFormat requires at least one
+/// stored mantissa bit (see types/format.hpp), so the narrowest trial
+/// format carries 2 significand bits — probing 1 would construct the
+/// invalid format {e, m=0}.
+inline constexpr int kMinPrecisionBits = 2;
+
 class TypeSystem {
 public:
     explicit constexpr TypeSystem(TypeSystemKind kind) noexcept : kind_(kind) {}

@@ -1,0 +1,140 @@
+// Fixed-size thread pool for the parallel precision-tuning engine.
+//
+// The tuning search dispatches independent trial evaluations (per-signal
+// precision probes, per-input-set quality checks, candidate-format cost
+// probes) onto a pool of workers. Each submitted task owns all the state it
+// touches — a private TpContext plus an apps::App clone — so the pool needs
+// no synchronization beyond its own queue. Determinism is the caller's
+// contract: tasks are pure functions of their inputs, and callers reduce
+// results by task index, never by completion order (see
+// tuning/search.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tp::util {
+
+class ThreadPool {
+public:
+    /// Spawns `thread_count` workers (at least one). If the system runs
+    /// out of threads mid-spawn, the ones already started are joined
+    /// before the std::system_error propagates (a joinable std::thread
+    /// destroyed during unwind would call std::terminate).
+    explicit ThreadPool(unsigned thread_count) {
+        if (thread_count == 0) thread_count = 1;
+        workers_.reserve(thread_count);
+        try {
+            for (unsigned i = 0; i < thread_count; ++i) {
+                workers_.emplace_back([this] { worker_loop(); });
+            }
+        } catch (...) {
+            shutdown();
+            throw;
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Drains the queue: already-submitted tasks still run to completion.
+    ~ThreadPool() { shutdown(); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Schedules `task` and returns a future for its result. Exceptions
+    /// thrown by the task surface at future.get().
+    template <typename F>
+    [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F task) {
+        using R = std::invoke_result_t<F>;
+        auto packaged =
+            std::make_shared<std::packaged_task<R()>>(std::move(task));
+        std::future<R> future = packaged->get_future();
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            queue_.emplace([packaged] { (*packaged)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+private:
+    void shutdown() {
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& worker : workers_) worker.join();
+        workers_.clear();
+    }
+
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock{mutex_};
+                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return; // stopping_ and drained
+                task = std::move(queue_.front());
+                queue_.pop();
+            }
+            task();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+/// Runs fn(0) .. fn(count - 1) and returns the results indexed by input.
+/// With a null pool the calls happen inline on the calling thread, in index
+/// order — the serial reference path. With a pool every call becomes one
+/// task; results are still collected by index, so the output (and any
+/// exception) is independent of worker scheduling.
+template <typename Fn>
+auto indexed_map(ThreadPool* pool, std::size_t count, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+    using R = std::invoke_result_t<Fn, std::size_t>;
+    std::vector<R> results;
+    results.reserve(count);
+    if (pool == nullptr) {
+        for (std::size_t i = 0; i < count; ++i) results.push_back(fn(i));
+        return results;
+    }
+    std::vector<std::future<R>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        futures.push_back(pool->submit([fn, i] { return fn(i); }));
+    }
+    // Every future is awaited even after a failure: queued tasks reference
+    // caller-owned state, so rethrowing while siblings are still pending
+    // would let them run during (or after) the caller's unwind.
+    std::exception_ptr first_error;
+    for (std::future<R>& future : futures) {
+        try {
+            if (first_error == nullptr) {
+                results.push_back(future.get());
+            } else {
+                (void)future.get();
+            }
+        } catch (...) {
+            if (first_error == nullptr) first_error = std::current_exception();
+        }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace tp::util

@@ -63,6 +63,24 @@ TEST(CastAware, RespectsTypeSystemMembership) {
     }
 }
 
+TEST(CastAware, ParallelMatchesSerial) {
+    auto serial_app = tp::apps::make_app("pca");
+    const auto serial = cast_aware_search(*serial_app, fast_options());
+
+    auto parallel_app = tp::apps::make_app("pca");
+    auto parallel_options = fast_options();
+    parallel_options.search.threads = 4;
+    const auto parallel = cast_aware_search(*parallel_app, parallel_options);
+
+    EXPECT_EQ(serial.config.formats(), parallel.config.formats());
+    EXPECT_EQ(serial.moves_accepted, parallel.moves_accepted);
+    EXPECT_EQ(serial.base_energy_pj, parallel.base_energy_pj);
+    EXPECT_EQ(serial.tuned_energy_pj, parallel.tuned_energy_pj);
+    EXPECT_EQ(serial.base_casts, parallel.base_casts);
+    EXPECT_EQ(serial.tuned_casts, parallel.tuned_casts);
+    EXPECT_EQ(serial.base.program_runs, parallel.base.program_runs);
+}
+
 TEST(CastAware, MovesReportedConsistently) {
     auto app = tp::apps::make_app("pca");
     const auto result = cast_aware_search(*app, fast_options());

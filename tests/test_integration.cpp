@@ -154,14 +154,14 @@ TEST(Integration, StatsRegistryMatchesTraceCounts) {
     // trace-driven platform must agree on arithmetic operation counts.
     auto app = make_app("conv");
     app->prepare(0);
-    tp::global_stats().reset();
-    tp::global_stats().set_enabled(true);
+    tp::thread_stats().reset();
+    tp::thread_stats().set_enabled(true);
     TpContext ctx;
     (void)app->run(ctx, app->uniform_config(tp::kBinary16));
-    tp::global_stats().set_enabled(false);
+    tp::thread_stats().set_enabled(false);
     const auto report = tp::sim::simulate(ctx.take_program(false));
     std::uint64_t stats_arith = 0;
-    for (const auto& [fmt, counts] : tp::global_stats().ops()) {
+    for (const auto& [fmt, counts] : tp::thread_stats().ops()) {
         stats_arith += counts.arithmetic_total();
     }
     std::uint64_t trace_arith = 0;
@@ -174,7 +174,7 @@ TEST(Integration, StatsRegistryMatchesTraceCounts) {
     // registry count is within the trace count and non-zero.
     EXPECT_GT(stats_arith, 0u);
     EXPECT_LE(stats_arith, trace_arith);
-    tp::global_stats().reset();
+    tp::thread_stats().reset();
 }
 
 } // namespace

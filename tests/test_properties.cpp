@@ -22,8 +22,12 @@ using tp::quantize;
 class FormatProperty : public ::testing::TestWithParam<FpFormat> {};
 
 std::string format_name(const ::testing::TestParamInfo<FpFormat>& info) {
-    return "e" + std::to_string(info.param.exp_bits) + "m" +
-           std::to_string(info.param.mant_bits);
+    // append instead of operator+: GCC 12 -Wrestrict false positive (PR105651)
+    std::string name{"e"};
+    name.append(std::to_string(info.param.exp_bits));
+    name.append("m");
+    name.append(std::to_string(info.param.mant_bits));
+    return name;
 }
 
 TEST_P(FormatProperty, QuantizeIsMonotone) {

@@ -10,17 +10,17 @@
 namespace {
 
 using tp::FpOp;
-using tp::global_stats;
+using tp::thread_stats;
 
 class StatsTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        global_stats().reset();
-        global_stats().set_enabled(true);
+        thread_stats().reset();
+        thread_stats().set_enabled(true);
     }
     void TearDown() override {
-        global_stats().set_enabled(false);
-        global_stats().reset();
+        thread_stats().set_enabled(false);
+        thread_stats().reset();
     }
 };
 
@@ -30,7 +30,7 @@ TEST_F(StatsTest, CountsTemplateOps) {
     const auto c = a + b;
     const auto d = c * a;
     (void)d;
-    const auto counts = global_stats().counts_for(tp::kBinary16);
+    const auto counts = thread_stats().counts_for(tp::kBinary16);
     EXPECT_EQ(counts.total(FpOp::Add), 1u);
     EXPECT_EQ(counts.total(FpOp::Mul), 1u);
     EXPECT_EQ(counts.arithmetic_total(), 2u);
@@ -44,9 +44,9 @@ TEST_F(StatsTest, CountsDynOpsPerFormat) {
     (void)(a * b);
     const tp::FlexFloatDyn c{1.0, tp::kBinary32};
     (void)(c + c);
-    EXPECT_EQ(global_stats().counts_for(tp::kBinary8).arithmetic_total(), 3u);
-    EXPECT_EQ(global_stats().counts_for(tp::kBinary32).arithmetic_total(), 1u);
-    EXPECT_EQ(global_stats().total_arithmetic(), 4u);
+    EXPECT_EQ(thread_stats().counts_for(tp::kBinary8).arithmetic_total(), 3u);
+    EXPECT_EQ(thread_stats().counts_for(tp::kBinary32).arithmetic_total(), 1u);
+    EXPECT_EQ(thread_stats().total_arithmetic(), 4u);
 }
 
 TEST_F(StatsTest, CountsCasts) {
@@ -55,8 +55,8 @@ TEST_F(StatsTest, CountsCasts) {
     (void)narrow;
     const tp::FlexFloatDyn d{1.5, tp::kBinary32};
     (void)d.cast_to(tp::kBinary8);
-    EXPECT_EQ(global_stats().total_casts(), 2u);
-    const auto& casts = global_stats().casts();
+    EXPECT_EQ(thread_stats().total_casts(), 2u);
+    const auto& casts = thread_stats().casts();
     const auto it = casts.find({tp::kBinary32, tp::kBinary16});
     ASSERT_NE(it, casts.end());
     EXPECT_EQ(it->second[0], 1u);
@@ -72,7 +72,7 @@ TEST_F(StatsTest, VectorRegionSplitsCounts) {
         (void)(a * a);
     }
     EXPECT_FALSE(tp::in_vector_region());
-    const auto counts = global_stats().counts_for(tp::kBinary16);
+    const auto counts = thread_stats().counts_for(tp::kBinary16);
     EXPECT_EQ(counts.arithmetic_scalar(), 1u);
     EXPECT_EQ(counts.arithmetic_vectorial(), 2u);
 }
@@ -90,25 +90,25 @@ TEST_F(StatsTest, NestedVectorRegions) {
 }
 
 TEST_F(StatsTest, DisabledRegistryCountsNothing) {
-    global_stats().set_enabled(false);
+    thread_stats().set_enabled(false);
     const tp::binary16_t a = 1.0;
     (void)(a + a);
-    EXPECT_EQ(global_stats().total_arithmetic(), 0u);
+    EXPECT_EQ(thread_stats().total_arithmetic(), 0u);
 }
 
 TEST_F(StatsTest, ResetClears) {
     const tp::binary16_t a = 1.0;
     (void)(a + a);
-    global_stats().reset();
-    EXPECT_EQ(global_stats().total_arithmetic(), 0u);
-    EXPECT_TRUE(global_stats().ops().empty());
+    thread_stats().reset();
+    EXPECT_EQ(thread_stats().total_arithmetic(), 0u);
+    EXPECT_TRUE(thread_stats().ops().empty());
 }
 
 TEST_F(StatsTest, ReportMentionsFormatsAndOps) {
     const tp::binary8_t a = 1.0;
     (void)(a * a);
     std::ostringstream os;
-    global_stats().print_report(os);
+    thread_stats().print_report(os);
     const std::string report = os.str();
     EXPECT_NE(report.find("e=5, m=2"), std::string::npos);
     EXPECT_NE(report.find("mul=1"), std::string::npos);
@@ -121,7 +121,7 @@ TEST_F(StatsTest, DivSqrtNegAbsCmpTracked) {
     (void)(-a);
     (void)abs(a);
     (void)(a < a);
-    const auto counts = global_stats().counts_for(tp::kBinary16);
+    const auto counts = thread_stats().counts_for(tp::kBinary16);
     EXPECT_EQ(counts.total(FpOp::Div), 1u);
     EXPECT_EQ(counts.total(FpOp::Sqrt), 1u);
     EXPECT_EQ(counts.total(FpOp::Neg), 1u);

@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tp::util::indexed_map;
+using tp::util::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool{4};
+    EXPECT_EQ(pool.size(), 4u);
+    auto f1 = pool.submit([] { return 7; });
+    auto f2 = pool.submit([] { return std::string{"ok"}; });
+    EXPECT_EQ(f1.get(), 7);
+    EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+    ThreadPool pool{0};
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+    constexpr int kTasks = 200;
+    ThreadPool pool{4};
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, ExceptionSurfacesAtGet) {
+    ThreadPool pool{2};
+    auto f = pool.submit([]() -> int { throw std::runtime_error{"boom"}; });
+    EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool{2};
+        for (int i = 0; i < 50; ++i) {
+            (void)pool.submit([&counter] { ++counter; });
+        }
+    } // ~ThreadPool joins after running everything already submitted
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(IndexedMap, InlineAndPooledAgree) {
+    const auto square = [](std::size_t i) {
+        return static_cast<int>(i) * static_cast<int>(i);
+    };
+    const std::vector<int> serial = indexed_map(nullptr, 32, square);
+    ThreadPool pool{4};
+    const std::vector<int> pooled = indexed_map(&pool, 32, square);
+    EXPECT_EQ(serial, pooled);
+    ASSERT_EQ(serial.size(), 32u);
+    EXPECT_EQ(serial[5], 25);
+}
+
+TEST(IndexedMap, ResultsOrderedByIndexNotCompletion) {
+    ThreadPool pool{4};
+    // Later indices finish first; results must still arrive index-ordered.
+    const std::vector<std::size_t> out =
+        indexed_map(&pool, 16, [](std::size_t i) {
+            std::this_thread::sleep_for(std::chrono::microseconds(500 * (16 - i)));
+            return i;
+        });
+    std::vector<std::size_t> expected(16);
+    std::iota(expected.begin(), expected.end(), std::size_t{0});
+    EXPECT_EQ(out, expected);
+}
+
+} // namespace

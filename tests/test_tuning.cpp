@@ -148,6 +148,39 @@ TEST(Search, PrecisionConfigExport) {
     }
 }
 
+// The determinism contract of the parallel engine (search.hpp): threads=4
+// must return a TuningResult bit-identical to the serial reference path,
+// program_runs included.
+void expect_parallel_matches_serial(const std::string& app_name) {
+    auto serial_app = tp::apps::make_app(app_name);
+    auto parallel_app = tp::apps::make_app(app_name);
+    SearchOptions serial_options = fast_options(1e-2, tp::TypeSystemKind::V2);
+    serial_options.threads = 1;
+    SearchOptions parallel_options = serial_options;
+    parallel_options.threads = 4;
+
+    const auto serial = distributed_search(*serial_app, serial_options);
+    const auto parallel = distributed_search(*parallel_app, parallel_options);
+
+    EXPECT_EQ(serial.program_runs, parallel.program_runs) << app_name;
+    EXPECT_EQ(serial.epsilon, parallel.epsilon) << app_name;
+    EXPECT_EQ(serial.type_system, parallel.type_system) << app_name;
+    ASSERT_EQ(serial.signals.size(), parallel.signals.size()) << app_name;
+    for (std::size_t i = 0; i < serial.signals.size(); ++i) {
+        EXPECT_EQ(serial.signals[i].name, parallel.signals[i].name);
+        EXPECT_EQ(serial.signals[i].elements, parallel.signals[i].elements);
+        EXPECT_EQ(serial.signals[i].precision_bits,
+                  parallel.signals[i].precision_bits)
+            << app_name << " signal " << serial.signals[i].name;
+        EXPECT_EQ(serial.signals[i].bound, parallel.signals[i].bound)
+            << app_name << " signal " << serial.signals[i].name;
+    }
+}
+
+TEST(Search, ParallelMatchesSerialPca) { expect_parallel_matches_serial("pca"); }
+
+TEST(Search, ParallelMatchesSerialDwt) { expect_parallel_matches_serial("dwt"); }
+
 TEST(Search, DeterministicAcrossRuns) {
     auto app1 = tp::apps::make_app("dwt");
     auto app2 = tp::apps::make_app("dwt");
