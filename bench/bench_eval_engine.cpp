@@ -1,0 +1,124 @@
+// EvalEngine memoization under a realistic tuning session
+// (tuning/eval_engine.hpp).
+//
+// The paper's evaluation tunes every application at three quality
+// requirements (epsilon 1e-3 / 1e-2 / 1e-1). The engine's trial cache is
+// epsilon-independent by construction — it memoizes program OUTPUTS keyed
+// by (input_set, config), and the requirement is applied to the cached
+// output — so an epsilon sweep over one app on a shared engine reuses
+// every overlapping probe. This bench runs that sweep per app twice:
+//
+//   * shared engine, memoization on  — counts kernel runs vs cache hits;
+//   * fresh engine, memoization off  — the pre-cache reference: same
+//     results (verified bit-exact), every trial a kernel execution.
+//
+// Results (per-app counters, aggregate elimination, wall times) go to
+// BENCH_eval_engine.json; BENCH_tuning.json (bench_parallel_tuning) holds
+// the headline pca/dwt numbers tracked across PRs.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "harness.hpp"
+#include "json.hpp"
+#include "tuning/eval_engine.hpp"
+#include "tuning/search.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tp::bench::identical_results;
+using tp::bench::seconds_since;
+
+tp::tuning::SearchOptions options_for(double epsilon) {
+    return tp::bench::bench_search_options(epsilon, tp::TypeSystemKind::V2);
+}
+
+} // namespace
+
+int main() {
+    std::printf("# EvalEngine memoization — epsilon sweep (1e-3, 1e-2, 1e-1), "
+                "V2, serial engine\n\n");
+    std::printf("%-8s %-8s %-8s %-8s %-12s %-10s %-10s %s\n", "app", "trials",
+                "runs", "hits", "eliminated", "cached_s", "uncached_s",
+                "identical");
+
+    bool all_identical = true;
+    auto apps_json = tp::bench::Json::array();
+
+    for (const char* app_name : {"jacobi", "knn", "pca", "dwt", "svm", "conv"}) {
+        auto app = tp::apps::make_app(app_name);
+
+        tp::tuning::EvalEngine cached{
+            *app,
+            tp::tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+        tp::tuning::EvalEngine uncached{
+            *app,
+            tp::tuning::EvalEngine::Options{.threads = 1, .memoize = false}};
+
+        bool matches = true;
+        auto sweep_json = tp::bench::Json::array();
+
+        const auto cached_start = Clock::now();
+        std::vector<tp::tuning::TuningResult> cached_results;
+        for (const double epsilon : tp::bench::kEpsilons) {
+            cached_results.push_back(
+                tp::tuning::distributed_search(cached, options_for(epsilon)));
+        }
+        const double cached_seconds = seconds_since(cached_start);
+
+        const auto uncached_start = Clock::now();
+        for (std::size_t e = 0; e < tp::bench::kEpsilons.size(); ++e) {
+            const auto reference = tp::tuning::distributed_search(
+                uncached, options_for(tp::bench::kEpsilons[e]));
+            const bool step_matches = identical_results(cached_results[e], reference);
+            matches = matches && step_matches;
+            sweep_json.item_raw(
+                tp::bench::Json::object()
+                    .field("epsilon", tp::bench::kEpsilons[e])
+                    .field("program_runs", reference.program_runs)
+                    .field("bit_identical", step_matches)
+                    .str(4));
+        }
+        const double uncached_seconds = seconds_since(uncached_start);
+
+        const auto stats = cached.stats();
+        all_identical = all_identical && matches;
+        std::printf("%-8s %-8zu %-8zu %-8zu %-12.1f %-10.3f %-10.3f %s\n",
+                    app_name, stats.trials, stats.kernel_runs, stats.cache_hits,
+                    100.0 * stats.hit_rate(), cached_seconds, uncached_seconds,
+                    matches ? "yes" : "NO");
+
+        apps_json.item_raw(
+            tp::bench::Json::object()
+                .field("app", app_name)
+                .field("trials", stats.trials)
+                .field("kernel_runs", stats.kernel_runs)
+                .field("cache_hits", stats.cache_hits)
+                .field("eliminated_fraction", stats.hit_rate())
+                .field("golden_runs", stats.golden_runs)
+                .field("cached_wall_seconds", cached_seconds)
+                .field("uncached_wall_seconds", uncached_seconds)
+                .field("bit_identical", matches)
+                .raw("per_epsilon", sweep_json.str(4))
+                .str(2));
+    }
+
+    const auto doc = tp::bench::Json::object()
+                         .field("bench", "bench_eval_engine")
+                         .field("scenario", "epsilon sweep 1e-3/1e-2/1e-1 on a shared engine")
+                         .raw("apps", apps_json.str(2));
+    std::ofstream out{"BENCH_eval_engine.json"};
+    out << doc.str() << "\n";
+    std::printf("\nwrote BENCH_eval_engine.json\n");
+
+    if (!all_identical) {
+        std::printf("FAIL: cached results diverged from the uncached path\n");
+        return 1;
+    }
+    std::printf("cached and uncached searches returned bit-identical results\n");
+    return 0;
+}

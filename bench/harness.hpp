@@ -8,6 +8,7 @@
 //     system, with the vectorizing toolchain enabled.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,20 @@ namespace tp::bench {
 
 /// The three precision requirements of the paper's evaluation.
 inline const std::vector<double> kEpsilons{1e-3, 1e-2, 1e-1};
+
+/// Elapsed wall-clock seconds since `start`.
+[[nodiscard]] inline double seconds_since(
+    std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/// The bit-identity predicate of the determinism contract: memberwise
+/// TuningResult equality (tuning/search.hpp operator==), named for the
+/// benches that gate CI on it.
+[[nodiscard]] bool identical_results(const tuning::TuningResult& a,
+                                     const tuning::TuningResult& b);
 
 /// Traces one run of `app` under `config` and simulates it.
 [[nodiscard]] sim::RunReport simulate_app(apps::App& app,

@@ -1,0 +1,99 @@
+// Minimal JSON emitter for machine-readable bench output.
+//
+// The benches append perf numbers to BENCH_*.json files so the trajectory
+// (wall time, kernel-run counts, cache hit-rates) is tracked across PRs by
+// tooling instead of eyeballed from stdout. Ordered fields, no external
+// dependency; values are built as strings, so the writer stays ~60 lines.
+#pragma once
+
+#include <concepts>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tp::bench {
+
+/// An ordered JSON object/array builder. Nested values are passed as
+/// already-serialized JSON via raw()/item_raw().
+class Json {
+public:
+    static Json object() { return Json{'{', '}'}; }
+    static Json array() { return Json{'[', ']'}; }
+
+    Json& field(std::string_view key, std::string_view value) {
+        return raw(key, quote(value));
+    }
+    Json& field(std::string_view key, const char* value) {
+        return raw(key, quote(value));
+    }
+    Json& field(std::string_view key, double value) {
+        return raw(key, number(value));
+    }
+    // One template for every integer width/signedness: distinct fixed-width
+    // overloads are ambiguous where size_t matches none of them exactly.
+    // The non-template bool overload below wins over the template for bool.
+    template <std::integral T>
+    Json& field(std::string_view key, T value) {
+        return raw(key, std::to_string(value));
+    }
+    Json& field(std::string_view key, bool value) {
+        return raw(key, value ? "true" : "false");
+    }
+    /// Nested object/array (or any pre-serialized JSON value).
+    Json& raw(std::string_view key, std::string_view json) {
+        entries_.emplace_back(std::string(key), std::string(json));
+        return *this;
+    }
+    /// Array element (objects only use field/raw).
+    Json& item_raw(std::string_view json) {
+        entries_.emplace_back(std::string(), std::string(json));
+        return *this;
+    }
+    Json& item(double value) { return item_raw(number(value)); }
+
+    [[nodiscard]] std::string str(int indent = 0) const {
+        const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+        const std::string close_pad(static_cast<std::size_t>(indent), ' ');
+        std::string out(1, open_);
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            out += i == 0 ? "\n" : ",\n";
+            out += pad;
+            if (open_ == '{') out += quote(entries_[i].first) + ": ";
+            // Re-indent nested multi-line values.
+            for (const char c : entries_[i].second) {
+                out += c;
+                if (c == '\n') out += pad;
+            }
+        }
+        if (!entries_.empty()) out += "\n" + close_pad;
+        out += close_;
+        return out;
+    }
+
+private:
+    Json(char open, char close) : open_(open), close_(close) {}
+
+    static std::string quote(std::string_view s) {
+        std::string out = "\"";
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out += '\\';
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    static std::string number(double value) {
+        std::ostringstream os;
+        os.precision(12);
+        os << value;
+        return os.str();
+    }
+
+    char open_;
+    char close_;
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+} // namespace tp::bench

@@ -9,14 +9,6 @@ std::unique_ptr<App> make_dwt();
 std::unique_ptr<App> make_svm();
 std::unique_ptr<App> make_conv();
 
-TypeConfig App::uniform_config(FpFormat format) const {
-    TypeConfig config;
-    for (const SignalSpec& spec : signals()) {
-        config.set(spec.name, format);
-    }
-    return config;
-}
-
 std::vector<double> App::golden(unsigned input_set) {
     prepare(input_set);
     sim::TpContext ctx{sim::TpContext::Config{.trace = false}};

@@ -5,7 +5,8 @@
 // (Section V-A). Each application here:
 //
 //   * declares its tunable variable groups ("signals" — program variables
-//     or arrays whose FP format the tuning tool controls);
+//     or arrays whose FP format the tuning tool controls) as a SignalTable
+//     with dense SignalIds in declaration order;
 //   * generates deterministic synthetic inputs per input-set index (the
 //     tuner's statistical refinement runs over several input sets);
 //   * runs its kernel against a TpContext under an arbitrary per-signal
@@ -18,47 +19,64 @@
 // run measured by the virtual platform.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
-#include <stdexcept>
-#include <string>
 #include <string_view>
 #include <vector>
 
+#include "apps/signal_table.hpp"
 #include "sim/context.hpp"
 #include "types/format.hpp"
 
 namespace tp::apps {
 
-/// A tunable variable group: one program variable or array.
-struct SignalSpec {
-    std::string name;
-    std::size_t elements = 1; // memory locations it contributes (Fig. 4 weights)
-};
-
-/// Per-signal format assignment.
+/// Per-signal format assignment: a flat array indexed by SignalId, in the
+/// app's declaration order. Value-cheap (a handful of two-byte
+/// descriptors), equality-comparable, and hashable — the key the trial
+/// memoization cache (tuning/eval_engine.hpp) is built on. Signal names
+/// appear only at the config-file boundary (tuning/config_io.hpp), which
+/// translates them through the app's SignalTable.
 class TypeConfig {
 public:
     TypeConfig() = default;
 
-    void set(const std::string& signal, FpFormat format) {
-        formats_[signal] = format;
+    /// `signal_count` slots, all set to `fill`.
+    explicit TypeConfig(std::size_t signal_count, FpFormat fill = kBinary32)
+        : formats_(signal_count, fill) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return formats_.size(); }
+
+    void set(SignalId id, FpFormat format) { formats_.at(id) = format; }
+
+    /// Bounds-checked O(1) lookup; throws std::out_of_range past size().
+    /// The kernels use this (a handful of lookups per run, so the check is
+    /// free) — an undersized or wrong-app config fails loudly, as the old
+    /// name-keyed map did.
+    [[nodiscard]] FpFormat at(SignalId id) const { return formats_.at(id); }
+
+    /// Unchecked O(1) lookup, for callers that validated the size.
+    [[nodiscard]] FpFormat operator[](SignalId id) const noexcept {
+        return formats_[id];
     }
 
-    [[nodiscard]] FpFormat at(const std::string& signal) const {
-        const auto it = formats_.find(signal);
-        if (it == formats_.end()) {
-            throw std::out_of_range("TypeConfig: unknown signal '" + signal + "'");
-        }
-        return it->second;
-    }
-
-    [[nodiscard]] const std::map<std::string, FpFormat>& formats() const noexcept {
+    [[nodiscard]] const std::vector<FpFormat>& formats() const noexcept {
         return formats_;
     }
 
+    friend bool operator==(const TypeConfig&, const TypeConfig&) = default;
+
+    /// FNV-1a over the (exp_bits, mant_bits) byte pairs.
+    [[nodiscard]] std::uint64_t hash() const noexcept {
+        std::uint64_t h = 14695981039346656037ULL;
+        for (const FpFormat f : formats_) {
+            h = (h ^ f.exp_bits) * 1099511628211ULL;
+            h = (h ^ f.mant_bits) * 1099511628211ULL;
+        }
+        return h;
+    }
+
 private:
-    std::map<std::string, FpFormat> formats_;
+    std::vector<FpFormat> formats_;
 };
 
 class App {
@@ -66,7 +84,16 @@ public:
     virtual ~App() = default;
 
     [[nodiscard]] virtual std::string_view name() const = 0;
-    [[nodiscard]] virtual std::vector<SignalSpec> signals() const = 0;
+
+    /// Interned signal declarations; ids are declaration-order positions.
+    /// Shared (immutable) between an app and all its clones.
+    [[nodiscard]] const SignalTable& signal_table() const noexcept {
+        return *table_;
+    }
+
+    [[nodiscard]] const std::vector<SignalSpec>& signals() const noexcept {
+        return table_->specs();
+    }
 
     /// Deep copy, including any prepared workload. The parallel tuning
     /// engine gives each worker thread its own clone so trial evaluations
@@ -81,10 +108,24 @@ public:
     virtual std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) = 0;
 
     /// Same format for every signal (e.g. the binary32 baseline).
-    [[nodiscard]] TypeConfig uniform_config(FpFormat format) const;
+    [[nodiscard]] TypeConfig uniform_config(FpFormat format) const {
+        return TypeConfig{table_->size(), format};
+    }
 
     /// Reference output: binary64 throughout, no tracing.
     [[nodiscard]] std::vector<double> golden(unsigned input_set);
+
+protected:
+    /// Concrete apps declare their signals here; the declaration order
+    /// fixes the SignalIds their kernel uses as compile-time constants.
+    explicit App(std::vector<SignalSpec> specs)
+        : table_(std::make_shared<const SignalTable>(std::move(specs))) {}
+
+    App(const App&) = default;
+    App& operator=(const App&) = default;
+
+private:
+    std::shared_ptr<const SignalTable> table_;
 };
 
 /// Names of all six applications, in the paper's order.

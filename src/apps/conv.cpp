@@ -19,19 +19,21 @@ constexpr std::size_t kOut = kImage - kKernel + 1; // valid convolution
 
 class Conv final : public App {
 public:
+    // SignalIds, in declaration order.
+    enum : SignalId { kImageSig, kKernelSig, kAccSig, kOutSig };
+
+    Conv()
+        : App({
+              {"image", kImage * kImage},   // input pixels
+              {"kernel", kKernel * kKernel},// filter weights
+              {"acc", 1},                   // tap accumulator register
+              {"out", kOut * kOut},         // output pixels
+          }) {}
+
     [[nodiscard]] std::string_view name() const override { return "conv"; }
 
     [[nodiscard]] std::unique_ptr<App> clone() const override {
         return std::make_unique<Conv>(*this);
-    }
-
-    [[nodiscard]] std::vector<SignalSpec> signals() const override {
-        return {
-            {"image", kImage * kImage},   // input pixels
-            {"kernel", kKernel * kKernel},// filter weights
-            {"acc", 1},                   // tap accumulator register
-            {"out", kOut * kOut},         // output pixels
-        };
     }
 
     void prepare(unsigned input_set) override {
@@ -67,10 +69,10 @@ public:
     }
 
     std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) override {
-        const FpFormat image_f = config.at("image");
-        const FpFormat kernel_f = config.at("kernel");
-        const FpFormat acc_f = config.at("acc");
-        const FpFormat out_f = config.at("out");
+        const FpFormat image_f = config.at(kImageSig);
+        const FpFormat kernel_f = config.at(kKernelSig);
+        const FpFormat acc_f = config.at(kAccSig);
+        const FpFormat out_f = config.at(kOutSig);
 
         sim::TpArray image = ctx.make_array(image_f, image_.size());
         sim::TpArray kernel = ctx.make_array(kernel_f, kernel_.size());

@@ -27,21 +27,23 @@ constexpr std::array<double, kTaps> kHi{
 
 class Dwt final : public App {
 public:
+    // SignalIds, in declaration order.
+    enum : SignalId { kSignalSig, kLoSig, kHiSig, kAccSig, kApproxSig, kDetailSig };
+
+    Dwt()
+        : App({
+              {"signal", kLength},           // input samples
+              {"lo", kTaps},                 // low-pass filter taps
+              {"hi", kTaps},                 // high-pass filter taps
+              {"acc", 1},                    // tap accumulator register
+              {"approx", kLength / 2 + kLength / 4}, // approximation coeffs
+              {"detail", kLength / 2 + kLength / 4}, // detail coeffs
+          }) {}
+
     [[nodiscard]] std::string_view name() const override { return "dwt"; }
 
     [[nodiscard]] std::unique_ptr<App> clone() const override {
         return std::make_unique<Dwt>(*this);
-    }
-
-    [[nodiscard]] std::vector<SignalSpec> signals() const override {
-        return {
-            {"signal", kLength},           // input samples
-            {"lo", kTaps},                 // low-pass filter taps
-            {"hi", kTaps},                 // high-pass filter taps
-            {"acc", 1},                    // tap accumulator register
-            {"approx", kLength / 2 + kLength / 4}, // approximation coeffs
-            {"detail", kLength / 2 + kLength / 4}, // detail coeffs
-        };
     }
 
     void prepare(unsigned input_set) override {
@@ -57,12 +59,12 @@ public:
     }
 
     std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) override {
-        const FpFormat signal_f = config.at("signal");
-        const FpFormat lo_f = config.at("lo");
-        const FpFormat hi_f = config.at("hi");
-        const FpFormat acc_f = config.at("acc");
-        const FpFormat approx_f = config.at("approx");
-        const FpFormat detail_f = config.at("detail");
+        const FpFormat signal_f = config.at(kSignalSig);
+        const FpFormat lo_f = config.at(kLoSig);
+        const FpFormat hi_f = config.at(kHiSig);
+        const FpFormat acc_f = config.at(kAccSig);
+        const FpFormat approx_f = config.at(kApproxSig);
+        const FpFormat detail_f = config.at(kDetailSig);
 
         sim::TpArray input = ctx.make_array(signal_f, kLength);
         for (std::size_t i = 0; i < kLength; ++i) input.set_raw(i, signal_[i]);

@@ -18,19 +18,21 @@ constexpr int kIterations = 150; // relaxation sweeps (errors accumulate)
 
 class Jacobi final : public App {
 public:
+    // SignalIds, in declaration order.
+    enum : SignalId { kGridIn, kGrid, kCoeff, kTmp };
+
+    Jacobi()
+        : App({
+              {"grid_in", kN * kN}, // the initial temperature field
+              {"grid", kN * kN},    // the iterated field (both buffers)
+              {"coeff", 1},         // the 1/4 averaging coefficient
+              {"tmp", 1},           // the accumulator holding the 4-neighbour sum
+          }) {}
+
     [[nodiscard]] std::string_view name() const override { return "jacobi"; }
 
     [[nodiscard]] std::unique_ptr<App> clone() const override {
         return std::make_unique<Jacobi>(*this);
-    }
-
-    [[nodiscard]] std::vector<SignalSpec> signals() const override {
-        return {
-            {"grid_in", kN * kN}, // the initial temperature field
-            {"grid", kN * kN},    // the iterated field (both buffers)
-            {"coeff", 1},         // the 1/4 averaging coefficient
-            {"tmp", 1},           // the accumulator holding the 4-neighbour sum
-        };
     }
 
     void prepare(unsigned input_set) override {
@@ -48,10 +50,10 @@ public:
     }
 
     std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) override {
-        const FpFormat grid_in_f = config.at("grid_in");
-        const FpFormat grid_f = config.at("grid");
-        const FpFormat coeff_f = config.at("coeff");
-        const FpFormat tmp_f = config.at("tmp");
+        const FpFormat grid_in_f = config.at(kGridIn);
+        const FpFormat grid_f = config.at(kGrid);
+        const FpFormat coeff_f = config.at(kCoeff);
+        const FpFormat tmp_f = config.at(kTmp);
 
         sim::TpArray front = ctx.make_array(grid_f, kN * kN);
         sim::TpArray back = ctx.make_array(grid_f, kN * kN);

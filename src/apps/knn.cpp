@@ -23,19 +23,21 @@ constexpr std::size_t kNeighbours = 5;
 
 class Knn final : public App {
 public:
+    // SignalIds, in declaration order.
+    enum : SignalId { kTrain, kQuery, kDiff, kDist };
+
+    Knn()
+        : App({
+              {"train", kPoints * kDim}, // reference point coordinates
+              {"query", kDim},           // the query point
+              {"diff", 1},               // per-dimension difference register
+              {"dist", kPoints},         // squared distances
+          }) {}
+
     [[nodiscard]] std::string_view name() const override { return "knn"; }
 
     [[nodiscard]] std::unique_ptr<App> clone() const override {
         return std::make_unique<Knn>(*this);
-    }
-
-    [[nodiscard]] std::vector<SignalSpec> signals() const override {
-        return {
-            {"train", kPoints * kDim}, // reference point coordinates
-            {"query", kDim},           // the query point
-            {"diff", 1},               // per-dimension difference register
-            {"dist", kPoints},         // squared distances
-        };
     }
 
     void prepare(unsigned input_set) override {
@@ -47,10 +49,10 @@ public:
     }
 
     std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) override {
-        const FpFormat train_f = config.at("train");
-        const FpFormat query_f = config.at("query");
-        const FpFormat diff_f = config.at("diff");
-        const FpFormat dist_f = config.at("dist");
+        const FpFormat train_f = config.at(kTrain);
+        const FpFormat query_f = config.at(kQuery);
+        const FpFormat diff_f = config.at(kDiff);
+        const FpFormat dist_f = config.at(kDist);
 
         sim::TpArray train = ctx.make_array(train_f, train_.size());
         sim::TpArray query = ctx.make_array(query_f, query_.size());

@@ -24,7 +24,20 @@ constexpr int kPowerIterations = 12;
 
 class Pca final : public App {
 public:
-    explicit Pca(bool manual_vectorization) : manual_vec_(manual_vectorization) {}
+    // SignalIds, in declaration order.
+    enum : SignalId { kData, kMean, kCentered, kCov, kVec, kAcc, kProj };
+
+    explicit Pca(bool manual_vectorization)
+        : App({
+              {"data", kSamples * kFeatures},     // input samples
+              {"mean", kFeatures},                // per-feature means
+              {"centered", kSamples * kFeatures}, // centered data matrix
+              {"cov", kFeatures * kFeatures},     // covariance matrix
+              {"vec", kFeatures},                 // eigenvector iterate
+              {"acc", 1},                         // dot-product accumulator
+              {"proj", kSamples},                 // projections on the PC
+          }),
+          manual_vec_(manual_vectorization) {}
 
     [[nodiscard]] std::string_view name() const override {
         return manual_vec_ ? "pca-manual-vec" : "pca";
@@ -32,18 +45,6 @@ public:
 
     [[nodiscard]] std::unique_ptr<App> clone() const override {
         return std::make_unique<Pca>(*this);
-    }
-
-    [[nodiscard]] std::vector<SignalSpec> signals() const override {
-        return {
-            {"data", kSamples * kFeatures},     // input samples
-            {"mean", kFeatures},                // per-feature means
-            {"centered", kSamples * kFeatures}, // centered data matrix
-            {"cov", kFeatures * kFeatures},     // covariance matrix
-            {"vec", kFeatures},                 // eigenvector iterate
-            {"acc", 1},                         // dot-product accumulator
-            {"proj", kSamples},                 // projections on the PC
-        };
     }
 
     void prepare(unsigned input_set) override {
@@ -76,13 +77,13 @@ public:
     }
 
     std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) override {
-        const FpFormat data_f = config.at("data");
-        const FpFormat mean_f = config.at("mean");
-        const FpFormat centered_f = config.at("centered");
-        const FpFormat cov_f = config.at("cov");
-        const FpFormat vec_f = config.at("vec");
-        const FpFormat acc_f = config.at("acc");
-        const FpFormat proj_f = config.at("proj");
+        const FpFormat data_f = config.at(kData);
+        const FpFormat mean_f = config.at(kMean);
+        const FpFormat centered_f = config.at(kCentered);
+        const FpFormat cov_f = config.at(kCov);
+        const FpFormat vec_f = config.at(kVec);
+        const FpFormat acc_f = config.at(kAcc);
+        const FpFormat proj_f = config.at(kProj);
 
         sim::TpArray data = ctx.make_array(data_f, data_.size());
         for (std::size_t i = 0; i < data_.size(); ++i) data.set_raw(i, data_[i]);

@@ -1,0 +1,41 @@
+#include "apps/signal_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tp::apps {
+
+SignalTable::SignalTable(std::vector<SignalSpec> specs)
+    : specs_(std::move(specs)) {
+    by_name_.resize(specs_.size());
+    for (SignalId id = 0; id < by_name_.size(); ++id) by_name_[id] = id;
+    std::sort(by_name_.begin(), by_name_.end(),
+              [this](SignalId a, SignalId b) {
+                  return specs_[a].name < specs_[b].name;
+              });
+    for (std::size_t k = 1; k < by_name_.size(); ++k) {
+        if (specs_[by_name_[k - 1]].name == specs_[by_name_[k]].name) {
+            throw std::invalid_argument("SignalTable: duplicate signal '" +
+                                        specs_[by_name_[k]].name + "'");
+        }
+    }
+}
+
+std::optional<SignalId> SignalTable::find(std::string_view name) const noexcept {
+    const auto it = std::lower_bound(
+        by_name_.begin(), by_name_.end(), name,
+        [this](SignalId id, std::string_view n) { return specs_[id].name < n; });
+    if (it == by_name_.end() || specs_[*it].name != name) return std::nullopt;
+    return *it;
+}
+
+SignalId SignalTable::id(std::string_view name) const {
+    const std::optional<SignalId> found = find(name);
+    if (!found) {
+        throw std::out_of_range("SignalTable: unknown signal '" +
+                                std::string(name) + "'");
+    }
+    return *found;
+}
+
+} // namespace tp::apps

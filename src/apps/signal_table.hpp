@@ -1,0 +1,74 @@
+// Signal interning: dense ids for an application's tunable variable groups.
+//
+// The tuning engine evaluates the same kernel thousands of times under
+// slightly different per-signal format bindings. Before interning, every
+// binding lived in a string-keyed map and every kernel paid a string
+// lookup per signal per run. A SignalTable assigns each signal a dense
+// SignalId (its position in the app's declaration order), so a per-signal
+// binding becomes a flat array indexed in O(1) — and, being a flat array
+// of two-byte descriptors, trivially hashable, which is what makes trial
+// memoization (tuning/eval_engine.hpp) cheap. Name-based access survives
+// only at the configuration-file boundary (tuning/config_io.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp::apps {
+
+/// A tunable variable group: one program variable or array.
+struct SignalSpec {
+    std::string name;
+    std::size_t elements = 1; // memory locations it contributes (Fig. 4 weights)
+};
+
+/// Dense signal index: the position of a signal in its app's declaration
+/// order. Kernels bind ids to compile-time constants (an enum mirroring the
+/// declaration order), so format lookups compile to an array index.
+using SignalId = std::uint32_t;
+
+/// Immutable name <-> id mapping for one application's signals. Ids are
+/// declaration-order positions; name lookup is for the config-file boundary
+/// and diagnostics only — kernels and the tuning engine work in ids.
+class SignalTable {
+public:
+    SignalTable() = default;
+
+    /// Throws std::invalid_argument on duplicate signal names.
+    explicit SignalTable(std::vector<SignalSpec> specs);
+
+    [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+    [[nodiscard]] const std::vector<SignalSpec>& specs() const noexcept {
+        return specs_;
+    }
+
+    /// The id a kernel's declaration order assigns to `name`; throws
+    /// std::out_of_range for unknown names.
+    [[nodiscard]] SignalId id(std::string_view name) const;
+
+    /// Like id(), but empty instead of throwing.
+    [[nodiscard]] std::optional<SignalId> find(std::string_view name) const noexcept;
+
+    [[nodiscard]] bool contains(std::string_view name) const noexcept {
+        return find(name).has_value();
+    }
+
+    [[nodiscard]] const std::string& name(SignalId id) const {
+        return specs_.at(id).name;
+    }
+
+    [[nodiscard]] const SignalSpec& spec(SignalId id) const {
+        return specs_.at(id);
+    }
+
+private:
+    std::vector<SignalSpec> specs_;
+    std::vector<SignalId> by_name_; // ids sorted by signal name (binary search)
+};
+
+} // namespace tp::apps

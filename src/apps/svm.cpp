@@ -25,21 +25,23 @@ constexpr double kBias = -0.35;
 
 class Svm final : public App {
 public:
+    // SignalIds, in declaration order.
+    enum : SignalId { kSv, kAlpha, kInput, kDot, kKernel, kDecision };
+
+    Svm()
+        : App({
+              {"sv", kSupportVectors * kDim}, // support vector coordinates
+              {"alpha", kSupportVectors},     // dual coefficients
+              {"input", kQueries * kDim},     // query samples
+              {"dot", 1},                     // dot-product accumulator
+              {"kernel", 1},                  // kernel value register
+              {"decision", kQueries},         // decision values
+          }) {}
+
     [[nodiscard]] std::string_view name() const override { return "svm"; }
 
     [[nodiscard]] std::unique_ptr<App> clone() const override {
         return std::make_unique<Svm>(*this);
-    }
-
-    [[nodiscard]] std::vector<SignalSpec> signals() const override {
-        return {
-            {"sv", kSupportVectors * kDim}, // support vector coordinates
-            {"alpha", kSupportVectors},     // dual coefficients
-            {"input", kQueries * kDim},     // query samples
-            {"dot", 1},                     // dot-product accumulator
-            {"kernel", 1},                  // kernel value register
-            {"decision", kQueries},         // decision values
-        };
     }
 
     void prepare(unsigned input_set) override {
@@ -56,12 +58,12 @@ public:
     }
 
     std::vector<double> run(sim::TpContext& ctx, const TypeConfig& config) override {
-        const FpFormat sv_f = config.at("sv");
-        const FpFormat alpha_f = config.at("alpha");
-        const FpFormat input_f = config.at("input");
-        const FpFormat dot_f = config.at("dot");
-        const FpFormat kernel_f = config.at("kernel");
-        const FpFormat decision_f = config.at("decision");
+        const FpFormat sv_f = config.at(kSv);
+        const FpFormat alpha_f = config.at(kAlpha);
+        const FpFormat input_f = config.at(kInput);
+        const FpFormat dot_f = config.at(kDot);
+        const FpFormat kernel_f = config.at(kKernel);
+        const FpFormat decision_f = config.at(kDecision);
 
         sim::TpArray sv = ctx.make_array(sv_f, sv_.size());
         sim::TpArray alpha = ctx.make_array(alpha_f, alpha_.size());

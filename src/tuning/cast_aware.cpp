@@ -1,10 +1,9 @@
 #include "tuning/cast_aware.hpp"
 
 #include <array>
-#include <memory>
 #include <vector>
 
-#include "tuning/quality.hpp"
+#include "tuning/eval_engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tp::tuning {
@@ -15,42 +14,35 @@ struct Cost {
     std::uint64_t casts = 0;
 };
 
-/// Simulated platform cost of one binding. Pure in `app` — the caller hands
-/// each concurrent evaluation its own clone.
-Cost platform_cost(apps::App& app, const apps::TypeConfig& config,
+/// Simulated platform cost of one binding, via the engine's memoized
+/// report cache. Safe from pool workers.
+Cost platform_cost(EvalEngine& engine, const apps::TypeConfig& config,
                    const CastAwareOptions& options) {
-    app.prepare(options.cost_input_set);
-    sim::TpContext ctx;
-    (void)app.run(ctx, config);
-    const sim::RunReport report = sim::simulate(ctx.take_program(options.simd));
+    const sim::RunReport report =
+        engine.report(options.cost_input_set, config, options.simd);
     return Cost{report.energy.total(), report.casts};
 }
 
 /// Quality check on every input set. Per-set evaluations are independent
-/// and run on the pool when one is available; the serial path keeps the
+/// and run on the engine's pool when it has one; the serial path keeps the
 /// first-failure short-circuit. The conjunction over sets is
-/// order-independent and feeds no run counter, so both paths return the
-/// same boolean.
-bool meets_everywhere(util::ThreadPool* pool, const apps::App& prototype,
-                      const apps::TypeConfig& config,
+/// order-independent, so both paths return the same boolean — the trial
+/// counts differ, which is why TuningResult::program_runs never feeds from
+/// this pass.
+bool meets_everywhere(EvalEngine& engine, const apps::TypeConfig& config,
                       const CastAwareOptions& options) {
-    const auto check_set = [&prototype, &config, &options](std::size_t s) -> char {
+    const auto check_set = [&engine, &config, &options](std::size_t s) -> char {
         const unsigned set = options.search.input_sets[s];
-        const std::unique_ptr<apps::App> app = prototype.clone();
-        const auto golden = app->golden(set);
-        app->prepare(set);
-        sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
-        const auto out = app->run(ctx, config);
-        return meets_requirement(golden, out, options.search.epsilon) ? 1 : 0;
+        return engine.meets(set, config, options.search.epsilon) ? 1 : 0;
     };
-    if (pool == nullptr) {
+    if (engine.pool() == nullptr) {
         for (std::size_t s = 0; s < options.search.input_sets.size(); ++s) {
             if (check_set(s) == 0) return false;
         }
         return true;
     }
-    const std::vector<char> passed =
-        util::indexed_map(pool, options.search.input_sets.size(), check_set);
+    const std::vector<char> passed = util::indexed_map(
+        engine.pool(), options.search.input_sets.size(), check_set);
     for (const char ok : passed) {
         if (ok == 0) return false;
     }
@@ -60,17 +52,17 @@ bool meets_everywhere(util::ThreadPool* pool, const apps::App& prototype,
 } // namespace
 
 CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& options) {
+    // One engine serves the base DistributedSearch and the cast-aware
+    // refinement: the pool is spun up once, and the refinement's quality
+    // probes hit the trial cache the base search populated.
+    EvalEngine engine{app, EvalEngine::Options{.threads = options.search.threads,
+                                               .memoize = true}};
+
     CastAwareResult result;
-    result.base = distributed_search(app, options.search);
+    result.base = distributed_search(engine, options.search);
     result.config = result.base.type_config();
 
-    std::unique_ptr<util::ThreadPool> owned_pool;
-    if (options.search.threads > 1) {
-        owned_pool = std::make_unique<util::ThreadPool>(options.search.threads);
-    }
-    util::ThreadPool* pool = owned_pool.get();
-
-    const Cost base_cost = platform_cost(app, result.config, options);
+    const Cost base_cost = platform_cost(engine, result.config, options);
     result.base_energy_pj = base_cost.energy_pj;
     result.base_casts = base_cost.casts;
 
@@ -83,8 +75,8 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
     Cost current_cost = base_cost;
     for (int round = 0; round < options.max_rounds; ++round) {
         bool improved = false;
-        for (const SignalResult& sr : result.base.signals) {
-            const FpFormat original = current.at(sr.name);
+        for (apps::SignalId id = 0; id < result.base.signals.size(); ++id) {
+            const FpFormat original = current.at(id);
 
             // Re-binding candidates for this signal, in fixed member order.
             std::vector<FpFormat> candidates;
@@ -95,16 +87,15 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
                 candidates.push_back(candidate);
             }
 
-            // Cost probes are independent given `current`: fan them out,
-            // each on a private app clone.
+            // Cost probes are independent given `current`: fan them out
+            // on the engine's pool (each an engine-cached traced run).
             const std::vector<Cost> costs = util::indexed_map(
-                pool, candidates.size(),
-                [&app, &current, &options, &candidates,
-                 &sr](std::size_t k) -> Cost {
+                engine.pool(), candidates.size(),
+                [&engine, &current, &options, &candidates,
+                 id](std::size_t k) -> Cost {
                     apps::TypeConfig config = current;
-                    config.set(sr.name, candidates[k]);
-                    const std::unique_ptr<apps::App> clone = app.clone();
-                    return platform_cost(*clone, config, options);
+                    config.set(id, candidates[k]);
+                    return platform_cost(engine, config, options);
                 });
 
             // Deterministic acceptance: scan candidates in member order;
@@ -116,13 +107,13 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
             for (std::size_t k = 0; k < candidates.size(); ++k) {
                 if (costs[k].energy_pj >= best_cost.energy_pj) continue;
                 apps::TypeConfig config = current;
-                config.set(sr.name, candidates[k]);
-                if (meets_everywhere(pool, app, config, options)) {
+                config.set(id, candidates[k]);
+                if (meets_everywhere(engine, config, options)) {
                     best = candidates[k];
                     best_cost = costs[k];
                 }
             }
-            current.set(sr.name, best);
+            current.set(id, best);
             if (!(best == original)) {
                 current_cost = best_cost;
                 ++result.moves_accepted;
@@ -134,7 +125,8 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
 
     result.config = current;
     result.tuned_energy_pj = current_cost.energy_pj;
-    result.tuned_casts = platform_cost(app, current, options).casts;
+    result.tuned_casts = platform_cost(engine, current, options).casts;
+    result.eval_stats = engine.stats();
     return result;
 }
 

@@ -17,6 +17,7 @@
 
 #include "apps/app.hpp"
 #include "sim/platform.hpp"
+#include "tuning/eval_engine.hpp"
 #include "tuning/search.hpp"
 
 namespace tp::tuning {
@@ -32,15 +33,17 @@ struct CastAwareOptions {
 
 struct CastAwareResult {
     TuningResult base;             // the DistributedSearch starting point
-    apps::TypeConfig config;       // the cast-aware binding
+    apps::TypeConfig config;       // the cast-aware binding (by SignalId)
     double base_energy_pj = 0.0;   // platform energy of the base binding
     double tuned_energy_pj = 0.0;  // platform energy after the pass
     std::uint64_t base_casts = 0;
     std::uint64_t tuned_casts = 0;
     int moves_accepted = 0;
+    EvalStats eval_stats;          // trial-cache counters of the shared engine
 };
 
-/// Runs DistributedSearch, then the cast-aware refinement.
+/// Runs DistributedSearch, then the cast-aware refinement. Both phases
+/// share one EvalEngine (pool, clones, memoized trials).
 [[nodiscard]] CastAwareResult cast_aware_search(apps::App& app,
                                                 const CastAwareOptions& options);
 

@@ -26,10 +26,12 @@ PrecisionConfig read_precision_config(std::istream& is) {
                                      std::to_string(line_no) +
                                      ": missing precision bits");
         }
-        if (bits < 1 || bits > kMaxPrecisionBits) {
-            throw std::runtime_error("precision config line " +
-                                     std::to_string(line_no) +
-                                     ": precision out of range [1, 24]");
+        if (bits < kMinPrecisionBits || bits > kMaxPrecisionBits) {
+            throw std::runtime_error(
+                "precision config line " + std::to_string(line_no) +
+                ": precision out of range [" +
+                std::to_string(kMinPrecisionBits) + ", " +
+                std::to_string(kMaxPrecisionBits) + "]");
         }
         std::string extra;
         if (fields >> extra) {
@@ -40,6 +42,25 @@ PrecisionConfig read_precision_config(std::istream& is) {
         config[name] = bits;
     }
     return config;
+}
+
+PrecisionConfig read_precision_config(std::istream& is,
+                                      const apps::SignalTable& table) {
+    PrecisionConfig config = read_precision_config(is);
+    validate_precision_config(config, table);
+    return config;
+}
+
+void validate_precision_config(const PrecisionConfig& config,
+                               const apps::SignalTable& table) {
+    for (const auto& [name, bits] : config) {
+        (void)bits;
+        if (!table.contains(name)) {
+            throw std::runtime_error(
+                "precision config: unknown signal '" + name +
+                "' (the application declares no such variable)");
+        }
+    }
 }
 
 void write_precision_config(std::ostream& os, const PrecisionConfig& config) {

@@ -6,11 +6,18 @@
 //
 // Format: one `<signal-name> <precision-bits>` pair per line; '#' starts a
 // comment. Signal order is not significant.
+//
+// This is the one boundary where signals are named: everywhere else they
+// are dense SignalIds (apps/signal_table.hpp). The table-aware overloads
+// translate and validate — a config naming a signal the app does not
+// declare is rejected loudly instead of being carried along silently.
 #pragma once
 
 #include <iosfwd>
 #include <map>
 #include <string>
+
+#include "apps/signal_table.hpp"
 
 namespace tp::tuning {
 
@@ -19,6 +26,16 @@ using PrecisionConfig = std::map<std::string, int>;
 /// Parses a configuration stream; throws std::runtime_error on malformed
 /// lines or out-of-range precisions.
 [[nodiscard]] PrecisionConfig read_precision_config(std::istream& is);
+
+/// Parses and validates against `table`: every named signal must exist.
+/// Throws std::runtime_error naming the offending signal otherwise.
+[[nodiscard]] PrecisionConfig read_precision_config(
+    std::istream& is, const apps::SignalTable& table);
+
+/// Checks an already-parsed config against an app's signal table; throws
+/// std::runtime_error listing the first unknown signal.
+void validate_precision_config(const PrecisionConfig& config,
+                               const apps::SignalTable& table);
 
 /// Writes a configuration in the same format.
 void write_precision_config(std::ostream& os, const PrecisionConfig& config);

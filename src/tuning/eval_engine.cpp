@@ -1,0 +1,203 @@
+#include "tuning/eval_engine.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "tuning/quality.hpp"
+
+namespace tp::tuning {
+
+EvalEngine::EvalEngine(const apps::App& prototype, const Options& options)
+    : master_(prototype.clone()), memoize_(options.memoize) {
+    if (options.threads > 1) {
+        pool_ = std::make_unique<util::ThreadPool>(options.threads);
+    }
+}
+
+// The pool must drain before the clone free-list and caches are destroyed:
+// queued tasks reference them. pool_ is declared BEFORE the caches, so
+// default member destruction would tear the caches down first while
+// workers may still be draining — the explicit reset is load-bearing.
+EvalEngine::~EvalEngine() { pool_.reset(); }
+
+// Catches a wrong-sized binding (default-constructed, or built for
+// another app) before it reaches a kernel. A config built for a DIFFERENT
+// app with the SAME signal count cannot be detected here — configs are
+// plain values with no provenance; the name->id boundary (config_io
+// validated against a SignalTable) is where cross-app mixups originate
+// and are rejected.
+void EvalEngine::check_config(const apps::TypeConfig& config) const {
+    if (config.size() != master_->signal_table().size()) {
+        throw std::invalid_argument(
+            "EvalEngine: config has " + std::to_string(config.size()) +
+            " signals but app '" + std::string(master_->name()) +
+            "' declares " + std::to_string(master_->signal_table().size()));
+    }
+}
+
+std::unique_ptr<apps::App> EvalEngine::acquire_clone() {
+    {
+        const std::lock_guard<std::mutex> lock{clones_mutex_};
+        if (!clones_.empty()) {
+            std::unique_ptr<apps::App> clone = std::move(clones_.back());
+            clones_.pop_back();
+            return clone;
+        }
+    }
+    // master_ is immutable after construction, so concurrent clones are
+    // safe: App's copy constructor only reads it.
+    return master_->clone();
+}
+
+void EvalEngine::release_clone(std::unique_ptr<apps::App> clone) {
+    const std::lock_guard<std::mutex> lock{clones_mutex_};
+    clones_.push_back(std::move(clone));
+}
+
+const std::vector<double>& EvalEngine::golden(unsigned input_set) {
+    {
+        const std::lock_guard<std::mutex> lock{cache_mutex_};
+        const auto it = goldens_.find(input_set);
+        if (it != goldens_.end()) return it->second;
+    }
+    std::unique_ptr<apps::App> app = acquire_clone();
+    std::vector<double> golden = app->golden(input_set);
+    release_clone(std::move(app));
+    {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.golden_runs;
+    }
+    const std::lock_guard<std::mutex> lock{cache_mutex_};
+    // Concurrent first requests may both compute; values are identical by
+    // the determinism contract and try_emplace keeps exactly one.
+    return goldens_.try_emplace(input_set, std::move(golden)).first->second;
+}
+
+const std::vector<double>* EvalEngine::find_output(const TrialKey& key) {
+    if (!memoize_) return nullptr;
+    const std::vector<double>* found = nullptr;
+    {
+        const std::lock_guard<std::mutex> lock{cache_mutex_};
+        const auto it = outputs_.find(key);
+        if (it != outputs_.end()) found = &it->second;
+    }
+    if (found != nullptr) {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.cache_hits;
+    }
+    return found;
+}
+
+std::vector<double> EvalEngine::run_output(const TrialKey& key) {
+    std::unique_ptr<apps::App> app = acquire_clone();
+    app->prepare(key.input_set);
+    sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
+    std::vector<double> out = app->run(ctx, key.config);
+    release_clone(std::move(app));
+    {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.kernel_runs;
+    }
+    if (memoize_) {
+        const std::lock_guard<std::mutex> lock{cache_mutex_};
+        outputs_.try_emplace(key, out);
+    }
+    return out;
+}
+
+std::vector<double> EvalEngine::output(unsigned input_set,
+                                       const apps::TypeConfig& config) {
+    // Validate before any counter moves or kernel runs: a rejected config
+    // must leave the engine (and the trials == hits + runs invariant)
+    // untouched.
+    check_config(config);
+    {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.trials;
+    }
+    const TrialKey key{input_set, /*simd=*/false, config};
+    if (const std::vector<double>* cached = find_output(key)) return *cached;
+    return run_output(key);
+}
+
+bool EvalEngine::meets(unsigned input_set, const apps::TypeConfig& config,
+                       double epsilon) {
+    check_config(config); // before the golden run and the trial counter
+    {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.trials;
+    }
+    // Golden first: both locks are taken and released in sequence, and the
+    // golden reference stays valid while the trial cache mutates (map
+    // nodes are stable).
+    const std::vector<double>& reference = golden(input_set);
+    const TrialKey key{input_set, /*simd=*/false, config};
+    // The hit path reduces the cached output in place — no copy.
+    if (const std::vector<double>* cached = find_output(key)) {
+        return meets_requirement(reference, *cached, epsilon);
+    }
+    return meets_requirement(reference, run_output(key), epsilon);
+}
+
+sim::RunReport EvalEngine::report(unsigned input_set,
+                                  const apps::TypeConfig& config, bool simd) {
+    check_config(config);
+    {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.trials;
+    }
+    TrialKey key{input_set, simd, config};
+    if (memoize_) {
+        // Locks are taken sequentially, never nested — the engine has no
+        // lock ordering to get wrong (see find_output for the same shape).
+        const sim::RunReport* found = nullptr;
+        {
+            const std::lock_guard<std::mutex> lock{cache_mutex_};
+            const auto it = reports_.find(key);
+            if (it != reports_.end()) found = &it->second;
+        }
+        if (found != nullptr) {
+            {
+                const std::lock_guard<std::mutex> lock{stats_mutex_};
+                ++stats_.cache_hits;
+            }
+            return *found;
+        }
+    }
+    std::unique_ptr<apps::App> app = acquire_clone();
+    app->prepare(input_set);
+    sim::TpContext ctx; // traced run: the platform model needs the program
+    std::vector<double> out = app->run(ctx, config);
+    release_clone(std::move(app));
+    sim::RunReport run_report = sim::simulate(ctx.take_program(simd));
+    {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.kernel_runs;
+    }
+    if (memoize_) {
+        const std::lock_guard<std::mutex> lock{cache_mutex_};
+        // Tracing does not change the arithmetic, so the output this run
+        // produced also serves future quality trials of the same binding
+        // (e.g. cast-aware cost probe -> quality check on the same set).
+        outputs_.try_emplace(TrialKey{input_set, /*simd=*/false, config},
+                             std::move(out));
+        reports_.try_emplace(std::move(key), run_report);
+    }
+    return run_report;
+}
+
+EvalStats EvalEngine::stats() const {
+    const std::lock_guard<std::mutex> lock{stats_mutex_};
+    return stats_;
+}
+
+void EvalEngine::clear_cache() {
+    const std::lock_guard<std::mutex> lock{cache_mutex_};
+    // Goldens survive: golden() hands out references promised to live as
+    // long as the engine.
+    outputs_.clear();
+    reports_.clear();
+}
+
+} // namespace tp::tuning

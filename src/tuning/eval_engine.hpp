@@ -1,0 +1,173 @@
+// EvalEngine — the shared trial-evaluation service of the tuning layer.
+//
+// Every tuning algorithm in this repository (DistributedSearch's greedy
+// probes, its statistical-refinement repair loop, the cast-aware energy
+// pass) reduces to the same primitive: "run the kernel on input set S
+// under per-signal binding C and look at the output". Before this engine
+// each caller owned its private copy of the machinery — app clones, a
+// thread pool, golden outputs — and re-ran kernels it had already run:
+// the greedy fixpoint pass deterministically repeats identical probes,
+// the repair loop re-verifies bindings the widen step just evaluated,
+// and repeated searches over the same app share nothing.
+//
+// The engine centralizes that machinery and memoizes trial outcomes,
+// keyed by (input_set, TypeConfig) — cheap because interned TypeConfigs
+// (apps/signal_table.hpp) are flat, hashable values:
+//
+//   * clone pool     — worker-private apps::App copies, recycled across
+//                      trials instead of re-cloned per task;
+//   * thread pool    — one util::ThreadPool shared by every phase of a
+//                      search (and across search phases, e.g. the
+//                      DistributedSearch base run inside cast_aware);
+//   * golden cache   — binary64 reference outputs per input set;
+//   * trial cache    — (input_set, config) -> program output, and
+//                      (input_set, config, simd) -> sim::RunReport for
+//                      the platform-cost oracle.
+//
+// Cache-coherent determinism contract
+// -----------------------------------
+// Kernels are pure functions of (input_set, config): deterministic
+// FlexFloat double arithmetic over deterministically generated inputs.
+// A cache hit therefore returns exactly the bytes a re-run would
+// produce, so ANY cache state (cold, warm from a previous search, or
+// memoization disabled) and ANY thread count yield bit-identical search
+// results. Callers count logical trials themselves (TuningResult::
+// program_runs is the number of trials *submitted*, unchanged from the
+// pre-cache engine); EvalStats separately reports how many kernel
+// executions the cache eliminated (kernel_runs vs cache_hits).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "sim/platform.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tp::tuning {
+
+/// Observability counters for the memoized trial cache. `trials` counts
+/// evaluation requests, of which `cache_hits` were served from memory and
+/// `kernel_runs` actually executed the kernel (trials == hits + runs).
+/// Golden (binary64 reference) executions are tracked separately — they
+/// are not trials. With threads > 1 concurrent first requests for the
+/// same key may, in principle, both execute (both produce identical
+/// values); counters are exact on the serial path.
+struct EvalStats {
+    std::size_t trials = 0;
+    std::size_t kernel_runs = 0;
+    std::size_t cache_hits = 0;
+    std::size_t golden_runs = 0;
+
+    /// Fraction of trials served from the cache, in [0, 1].
+    [[nodiscard]] double hit_rate() const noexcept {
+        return trials == 0
+                   ? 0.0
+                   : static_cast<double>(cache_hits) / static_cast<double>(trials);
+    }
+};
+
+class EvalEngine {
+public:
+    struct Options {
+        /// Worker threads for fanned-out trials; <= 1 keeps the serial
+        /// reference path (no pool is created).
+        unsigned threads = 1;
+        /// Trial memoization. Disabling re-runs every trial — results are
+        /// identical by the determinism contract; only EvalStats change.
+        bool memoize = true;
+    };
+
+    /// Snapshots `prototype` (one clone) — the engine never mutates or
+    /// re-reads the caller's instance afterwards.
+    EvalEngine(const apps::App& prototype, const Options& options);
+
+    EvalEngine(const EvalEngine&) = delete;
+    EvalEngine& operator=(const EvalEngine&) = delete;
+    ~EvalEngine();
+
+    [[nodiscard]] const apps::App& prototype() const noexcept { return *master_; }
+    [[nodiscard]] const apps::SignalTable& signal_table() const noexcept {
+        return master_->signal_table();
+    }
+
+    /// Shared pool for callers' own indexed_map fan-outs; null when
+    /// threads <= 1 (serial path).
+    [[nodiscard]] util::ThreadPool* pool() noexcept { return pool_.get(); }
+
+    /// Binary64 reference output for `input_set`, computed once. The
+    /// returned reference stays valid for the engine's lifetime —
+    /// clear_cache() keeps the goldens.
+    const std::vector<double>& golden(unsigned input_set);
+
+    /// Program output under `config` on `input_set` (untraced run).
+    /// Memoized; safe to call from pool workers.
+    std::vector<double> output(unsigned input_set, const apps::TypeConfig& config);
+
+    /// One quality trial: does the output under `config` meet the
+    /// requirement `epsilon` against the golden output? Counts as one
+    /// trial; epsilon is applied to the (cached) output, so the same
+    /// config can be checked against several requirements for one run.
+    bool meets(unsigned input_set, const apps::TypeConfig& config, double epsilon);
+
+    /// Traced run + virtual-platform simulation (the cast-aware pass's
+    /// cost oracle). Memoized per (input_set, config, simd).
+    sim::RunReport report(unsigned input_set, const apps::TypeConfig& config,
+                          bool simd);
+
+    [[nodiscard]] EvalStats stats() const;
+
+    /// Drops every memoized trial output and report; goldens and counters
+    /// are kept. Must not run concurrently with in-flight evaluations.
+    void clear_cache();
+
+private:
+    struct TrialKey {
+        unsigned input_set = 0;
+        bool simd = false; // only meaningful for the report cache
+        apps::TypeConfig config;
+        friend bool operator==(const TrialKey&, const TrialKey&) = default;
+    };
+    struct TrialKeyHash {
+        [[nodiscard]] std::size_t operator()(const TrialKey& key) const noexcept {
+            std::uint64_t h = key.config.hash();
+            h = (h ^ key.input_set) * 1099511628211ULL;
+            h = (h ^ static_cast<std::uint64_t>(key.simd)) * 1099511628211ULL;
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    void check_config(const apps::TypeConfig& config) const;
+
+    [[nodiscard]] std::unique_ptr<apps::App> acquire_clone();
+    void release_clone(std::unique_ptr<apps::App> clone);
+
+    /// Cached output for `key`, or null on a miss. The pointee is stable
+    /// (map nodes are only destroyed by clear_cache, which must not race
+    /// with evaluations), so callers may read it after the lock drops.
+    [[nodiscard]] const std::vector<double>* find_output(const TrialKey& key);
+
+    /// Executes the kernel (one untraced run) and memoizes the output.
+    std::vector<double> run_output(const TrialKey& key);
+
+    std::unique_ptr<apps::App> master_; // immutable after construction
+    bool memoize_ = true;
+    std::unique_ptr<util::ThreadPool> pool_;
+
+    std::mutex clones_mutex_;
+    std::vector<std::unique_ptr<apps::App>> clones_;
+
+    std::mutex cache_mutex_;
+    std::map<unsigned, std::vector<double>> goldens_;
+    std::unordered_map<TrialKey, std::vector<double>, TrialKeyHash> outputs_;
+    std::unordered_map<TrialKey, sim::RunReport, TrialKeyHash> reports_;
+
+    mutable std::mutex stats_mutex_;
+    EvalStats stats_;
+};
+
+} // namespace tp::tuning

@@ -2,20 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <memory>
 #include <utility>
 
-#include "tuning/quality.hpp"
+#include "tuning/eval_engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tp::tuning {
 namespace {
-
-/// One prepared input set: the workload index and its exact output.
-struct InputSet {
-    unsigned index = 0;
-    std::vector<double> golden;
-};
 
 /// Outcome of one per-signal precision probe (a binary search run as a
 /// single pool task).
@@ -26,18 +19,14 @@ struct ProbeResult {
 
 class Searcher {
 public:
-    Searcher(apps::App& app, const SearchOptions& options)
-        : app_(app), options_(options) {
-        for (const apps::SignalSpec& spec : app.signals()) {
+    Searcher(EvalEngine& engine, const SearchOptions& options)
+        : engine_(engine), options_(options) {
+        for (const apps::SignalSpec& spec : engine.prototype().signals()) {
             names_.push_back(spec.name);
             elements_.push_back(spec.elements);
         }
-        for (unsigned set : options.input_sets) {
-            sets_.push_back(InputSet{set, app_.golden(set)});
-        }
-        if (options.threads > 1) {
-            pool_ = std::make_unique<util::ThreadPool>(options.threads);
-        }
+        // Pre-warm the goldens serially so pool workers only ever read them.
+        for (unsigned set : options.input_sets) (void)engine_.golden(set);
     }
 
     TuningResult run() {
@@ -46,7 +35,7 @@ public:
 
         // Phase 1: independent search per input set; Phase 2 joins by
         // taking the per-variable maximum (the "statistical refinement").
-        for (const InputSet& set : sets_) {
+        for (const unsigned set : options_.input_sets) {
             std::vector<int> bits = search_one_set(set);
             for (std::size_t i = 0; i < n; ++i) {
                 joined[i] = std::max(joined[i], bits[i]);
@@ -80,43 +69,42 @@ public:
     }
 
 private:
-    /// Executes `app` with the given per-signal precision bits and checks
-    /// the quality requirement on one input set. With `bound` the
-    /// evaluation uses the concrete type each precision binds to instead
-    /// of the trial format. Pure: touches only `app` (which the caller
-    /// owns) — this is the unit of work the thread pool schedules.
-    bool trial(apps::App& app, const InputSet& set, const std::vector<int>& bits,
-               bool bound) const {
-        apps::TypeConfig config;
-        for (std::size_t i = 0; i < names_.size(); ++i) {
-            const FpFormat format =
-                bound ? format_of(options_.type_system.format_for_precision(bits[i]))
-                      : options_.type_system.trial_format(bits[i]);
-            config.set(names_[i], format);
+    /// The interned per-signal binding a precision vector denotes. With
+    /// `bound` the config carries the concrete type each precision binds
+    /// to instead of the trial format.
+    apps::TypeConfig config_for(const std::vector<int>& bits, bool bound) const {
+        apps::TypeConfig config(bits.size());
+        for (apps::SignalId i = 0; i < bits.size(); ++i) {
+            config.set(i, bound ? format_of(options_.type_system
+                                                .format_for_precision(bits[i]))
+                                : options_.type_system.trial_format(bits[i]));
         }
-        app.prepare(set.index);
-        sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
-        const std::vector<double> out = app.run(ctx, config);
-        return meets_requirement(set.golden, out, options_.epsilon);
+        return config;
     }
 
-    /// trial() on the shared prototype app — serial sections only.
-    bool trial_counted(const InputSet& set, const std::vector<int>& bits,
-                       bool bound) {
+    /// Submits one quality trial to the engine: executes (or recalls) the
+    /// program under the given per-signal precision bits and checks the
+    /// requirement on one input set. Safe from pool workers.
+    bool trial(unsigned set, const std::vector<int>& bits, bool bound) const {
+        return engine_.meets(set, config_for(bits, bound), options_.epsilon);
+    }
+
+    /// trial() plus the submitted-trials counter — serial sections only.
+    bool trial_counted(unsigned set, const std::vector<int>& bits, bool bound) {
         ++runs_;
-        return trial(app_, set, bits, bound);
+        return trial(set, bits, bound);
     }
 
     /// Greedy passes over all signals, one input set. Within a pass every
     /// signal is probed against the *pass-start* binding, which makes the
     /// probes independent of one another — the parallel axis — at the cost
     /// of a repair step when the combined proposals overshoot.
-    std::vector<int> search_one_set(const InputSet& set) {
+    std::vector<int> search_one_set(unsigned set) {
         const std::size_t n = names_.size();
         std::vector<int> bits(n, kMaxPrecisionBits);
         for (int pass = 0; pass < options_.max_passes; ++pass) {
             const std::vector<ProbeResult> probes = util::indexed_map(
-                pool_.get(), n, [this, &set, &bits](std::size_t i) {
+                engine_.pool(), n, [this, set, &bits](std::size_t i) {
                     return probe(set, bits, i);
                 });
             bool changed = false;
@@ -134,7 +122,8 @@ private:
             // a passing binding before the next pass sharpens it.
             widen_for_set(set, bits, /*bound=*/false);
             // If the repair reverted every proposal, the next pass would
-            // deterministically repeat the identical probes — fixpoint.
+            // deterministically repeat the identical probes — fixpoint (and,
+            // with the engine cache, every one of them would be a hit).
             if (bits == before) break;
         }
         return bits;
@@ -143,11 +132,10 @@ private:
     /// Lowest precision of signal `i` that passes on `set`, holding every
     /// other signal at its value in `frozen`. Quality is monotone in
     /// precision to a good approximation; a final verification guards
-    /// against the rare non-monotone case. Runs as one pool task with a
-    /// private app clone.
-    ProbeResult probe(const InputSet& set, const std::vector<int>& frozen,
+    /// against the rare non-monotone case (a cache hit whenever the binary
+    /// search already confirmed that precision). Runs as one pool task.
+    ProbeResult probe(unsigned set, const std::vector<int>& frozen,
                       std::size_t i) const {
-        const std::unique_ptr<apps::App> app = app_.clone();
         std::vector<int> bits = frozen;
         ProbeResult result;
         const int original = bits[i];
@@ -157,7 +145,7 @@ private:
             const int mid = lo + (hi - lo) / 2;
             bits[i] = mid;
             ++result.runs;
-            if (trial(*app, set, bits, /*bound=*/false)) {
+            if (trial(set, bits, /*bound=*/false)) {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -167,7 +155,7 @@ private:
         result.precision_bits = lo;
         if (lo != original) {
             ++result.runs;
-            if (!trial(*app, set, bits, /*bound=*/false)) {
+            if (!trial(set, bits, /*bound=*/false)) {
                 // Non-monotone corner: keep the known-good value.
                 result.precision_bits = original;
             }
@@ -176,29 +164,28 @@ private:
     }
 
     /// Widens `bits` until every input set passes, or the round budget is
-    /// spent. Each round evaluates all sets (concurrently when a pool is
-    /// available) and repairs the lowest-indexed failing one.
+    /// spent. Each round evaluates all sets (concurrently when the engine
+    /// has a pool) and repairs the lowest-indexed failing one.
     void repair(std::vector<int>& bits, bool bound) {
         for (int round = 0; round < options_.max_refinement_rounds; ++round) {
             const std::vector<char> passed = util::indexed_map(
-                pool_.get(), sets_.size(),
+                engine_.pool(), options_.input_sets.size(),
                 [this, &bits, bound](std::size_t s) -> char {
-                    const std::unique_ptr<apps::App> app = app_.clone();
-                    return trial(*app, sets_[s], bits, bound) ? 1 : 0;
+                    return trial(options_.input_sets[s], bits, bound) ? 1 : 0;
                 });
-            runs_ += sets_.size();
+            runs_ += options_.input_sets.size();
             const auto failing = std::find(passed.begin(), passed.end(), 0);
             if (failing == passed.end()) break;
             const std::size_t s =
                 static_cast<std::size_t>(failing - passed.begin());
-            widen_for_set(sets_[s], bits, bound);
+            widen_for_set(options_.input_sets[s], bits, bound);
         }
     }
 
     /// Widens precisions until `set` passes, preferring the narrowest
     /// variables (those most likely responsible for the quality loss).
     /// Inherently sequential: every step depends on the previous trial.
-    void widen_for_set(const InputSet& set, std::vector<int>& bits, bool bound) {
+    void widen_for_set(unsigned set, std::vector<int>& bits, bool bound) {
         while (!trial_counted(set, bits, bound)) {
             std::size_t narrowest = names_.size();
             for (std::size_t i = 0; i < bits.size(); ++i) {
@@ -212,21 +199,19 @@ private:
         }
     }
 
-    apps::App& app_;
+    EvalEngine& engine_;
     SearchOptions options_;
     std::vector<std::string> names_;
     std::vector<std::size_t> elements_;
-    std::vector<InputSet> sets_;
-    std::unique_ptr<util::ThreadPool> pool_;
     std::size_t runs_ = 0;
 };
 
 } // namespace
 
 apps::TypeConfig TuningResult::type_config() const {
-    apps::TypeConfig config;
-    for (const SignalResult& sr : signals) {
-        config.set(sr.name, format_of(sr.bound));
+    apps::TypeConfig config(signals.size());
+    for (apps::SignalId i = 0; i < signals.size(); ++i) {
+        config.set(i, format_of(signals[i].bound));
     }
     return config;
 }
@@ -258,7 +243,13 @@ TuningResult::locations_per_precision() const {
 }
 
 TuningResult distributed_search(apps::App& app, const SearchOptions& options) {
-    Searcher searcher{app, options};
+    EvalEngine engine{app, EvalEngine::Options{.threads = options.threads,
+                                               .memoize = true}};
+    return distributed_search(engine, options);
+}
+
+TuningResult distributed_search(EvalEngine& engine, const SearchOptions& options) {
+    Searcher searcher{engine, options};
     return searcher.run();
 }
 

@@ -14,25 +14,36 @@
 // (types/type_system.hpp): DistributedSearch itself never tunes exponent
 // widths, exactly as in the paper.
 //
-// Determinism contract of the parallel engine
-// -------------------------------------------
-// With SearchOptions::threads > 1, independent trials are dispatched onto a
-// fixed-size thread pool: the per-signal precision probes inside a greedy
-// pass (each a binary search holding every other signal at its pass-start
-// precision) and the per-input-set quality evaluations of the refinement
-// phase. The result is bit-identical to the serial path (threads == 1)
-// because:
-//   * every task is a pure function of its inputs — it owns a private
-//     apps::App clone and sim::TpContext, and FlexFloat arithmetic is
-//     deterministic double arithmetic, so a trial's outcome does not depend
-//     on which thread runs it or when;
-//   * reductions are by task index, never by completion order: probe
-//     results are applied in signal order, per-set search results are
-//     joined in input-set order, the refinement phase repairs the
-//     lowest-indexed failing set, and trial counts are summed in index
-//     order;
-//   * the serial path executes the exact same trials in the same index
-//     order inline, so program_runs also matches bit-for-bit.
+// Determinism contract of the parallel, memoizing engine
+// ------------------------------------------------------
+// Trials are submitted through a shared EvalEngine (tuning/eval_engine.hpp)
+// that owns the thread pool, the app-clone pool, and a memoized trial
+// cache. The TuningResult is bit-identical across BOTH axes:
+//
+//   * threads — with SearchOptions::threads > 1, independent trials (the
+//     per-signal precision probes inside a greedy pass, each a binary
+//     search holding every other signal at its pass-start precision, and
+//     the per-input-set quality evaluations of the refinement phase) are
+//     dispatched onto a fixed-size thread pool. Every task is a pure
+//     function of its inputs — it runs on an engine-owned apps::App clone
+//     with a private sim::TpContext, and FlexFloat arithmetic is
+//     deterministic double arithmetic — and reductions are by task index,
+//     never by completion order: probe results are applied in signal
+//     order, per-set search results are joined in input-set order, the
+//     refinement phase repairs the lowest-indexed failing set, and trial
+//     counts are summed in index order. The serial path (threads == 1)
+//     executes the exact same trials in the same index order inline.
+//
+//   * cache state — kernels are pure in (input_set, config), so a cache
+//     hit returns exactly what the re-run would. A cold cache, a cache
+//     warmed by any previous search (e.g. an earlier distributed_search
+//     on the same engine, or the base search inside cast_aware), and a
+//     disabled cache all yield the same TuningResult. program_runs counts
+//     trials SUBMITTED — it equals the pre-memoization engine's count
+//     bit-for-bit; the executions the cache eliminated are visible in
+//     EvalEngine::stats() (kernel_runs vs cache_hits). The greedy
+//     fixpoint pass and the probe-confirmation trials of repeated binary
+//     searches are the main hit sources inside one search.
 #pragma once
 
 #include <array>
@@ -45,6 +56,8 @@
 
 namespace tp::tuning {
 
+class EvalEngine;
+
 struct SearchOptions {
     double epsilon = 1e-1;                 // output-quality requirement
     TypeSystem type_system{TypeSystemKind::V2};
@@ -53,7 +66,8 @@ struct SearchOptions {
     int max_passes = 3; // greedy sweeps per input set
     /// Worker threads for trial evaluation. 1 runs the serial reference
     /// path; any value returns the same TuningResult (see the determinism
-    /// contract above).
+    /// contract above). Ignored when an external EvalEngine is supplied —
+    /// the engine's pool is used instead.
     unsigned threads = 1;
 };
 
@@ -62,15 +76,23 @@ struct SignalResult {
     std::size_t elements = 1;  // memory locations (Fig. 4 weights)
     int precision_bits = kMaxPrecisionBits;
     FormatKind bound = FormatKind::Binary32; // concrete type after binding
+
+    friend bool operator==(const SignalResult&, const SignalResult&) = default;
 };
 
 struct TuningResult {
-    std::vector<SignalResult> signals;
+    std::vector<SignalResult> signals; // in SignalTable (declaration) order
     TypeSystemKind type_system = TypeSystemKind::V2;
     double epsilon = 0.0;
-    std::size_t program_runs = 0; // trials executed by the search
+    std::size_t program_runs = 0; // trials submitted by the search
 
-    /// Concrete per-signal formats (step 3 of the programming flow).
+    /// Memberwise — THE bit-identity predicate of the determinism
+    /// contract; benches and tests share it rather than each comparing a
+    /// hand-picked subset of fields.
+    friend bool operator==(const TuningResult&, const TuningResult&) = default;
+
+    /// Concrete per-signal formats (step 3 of the programming flow),
+    /// indexed by SignalId in the app's declaration order.
     [[nodiscard]] apps::TypeConfig type_config() const;
 
     /// Tuned precision bits per signal, as a config file would store them.
@@ -85,8 +107,16 @@ struct TuningResult {
     locations_per_precision() const;
 };
 
-/// Runs the two-phase search on `app`. Deterministic for fixed options.
+/// Runs the two-phase search on `app` with a private EvalEngine.
+/// Deterministic for fixed options.
 [[nodiscard]] TuningResult distributed_search(apps::App& app,
+                                              const SearchOptions& options);
+
+/// Same search, submitting trials through a caller-owned engine — shares
+/// its thread pool and trial cache with other searches on the same app
+/// (options.threads is ignored). The result is bit-identical to the
+/// private-engine overload for any cache state.
+[[nodiscard]] TuningResult distributed_search(EvalEngine& engine,
                                               const SearchOptions& options);
 
 } // namespace tp::tuning

@@ -47,8 +47,11 @@ TEST(CastAware, QualityStillHoldsOnAllTrainingSets) {
 TEST(CastAware, ConfigCoversEverySignal) {
     auto app = tp::apps::make_app("svm");
     const auto result = cast_aware_search(*app, fast_options());
+    // The config is indexed by SignalId: one slot per declared signal.
+    ASSERT_EQ(result.config.size(), app->signals().size());
     for (const auto& spec : app->signals()) {
-        EXPECT_NO_THROW((void)result.config.at(spec.name));
+        const tp::apps::SignalId id = app->signal_table().id(spec.name);
+        EXPECT_NO_THROW((void)result.config.at(id));
     }
     EXPECT_EQ(result.base.signals.size(), app->signals().size());
 }
@@ -58,8 +61,9 @@ TEST(CastAware, RespectsTypeSystemMembership) {
     auto options = fast_options();
     options.search.type_system = tp::TypeSystem{tp::TypeSystemKind::V1};
     const auto result = cast_aware_search(*app, options);
-    for (const auto& [name, format] : result.config.formats()) {
-        EXPECT_NE(format, tp::kBinary16Alt) << name << ": V1 has no binary16alt";
+    for (tp::apps::SignalId id = 0; id < result.config.size(); ++id) {
+        EXPECT_NE(result.config[id], tp::kBinary16Alt)
+            << app->signal_table().name(id) << ": V1 has no binary16alt";
     }
 }
 
@@ -72,7 +76,7 @@ TEST(CastAware, ParallelMatchesSerial) {
     parallel_options.search.threads = 4;
     const auto parallel = cast_aware_search(*parallel_app, parallel_options);
 
-    EXPECT_EQ(serial.config.formats(), parallel.config.formats());
+    EXPECT_EQ(serial.config, parallel.config);
     EXPECT_EQ(serial.moves_accepted, parallel.moves_accepted);
     EXPECT_EQ(serial.base_energy_pj, parallel.base_energy_pj);
     EXPECT_EQ(serial.tuned_energy_pj, parallel.tuned_energy_pj);
@@ -85,8 +89,9 @@ TEST(CastAware, MovesReportedConsistently) {
     auto app = tp::apps::make_app("pca");
     const auto result = cast_aware_search(*app, fast_options());
     int changed = 0;
-    for (const auto& sr : result.base.signals) {
-        if (!(result.config.at(sr.name) == tp::format_of(sr.bound))) ++changed;
+    for (tp::apps::SignalId id = 0; id < result.base.signals.size(); ++id) {
+        const auto& sr = result.base.signals[id];
+        if (!(result.config.at(id) == tp::format_of(sr.bound))) ++changed;
     }
     // Every differing signal required at least one accepted move (a signal
     // can move more than once across rounds).

@@ -1,0 +1,310 @@
+// Signal interning, TypeConfig hashing, and the EvalEngine's
+// cache-coherent determinism contract (see tuning/eval_engine.hpp and the
+// contract block in tuning/search.hpp).
+#include "tuning/eval_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/signal_table.hpp"
+#include "tuning/cast_aware.hpp"
+#include "tuning/search.hpp"
+
+namespace {
+
+using tp::apps::SignalId;
+using tp::apps::SignalSpec;
+using tp::apps::SignalTable;
+using tp::apps::TypeConfig;
+using tp::tuning::distributed_search;
+using tp::tuning::EvalEngine;
+using tp::tuning::SearchOptions;
+using tp::tuning::TuningResult;
+
+// --- SignalTable interning --------------------------------------------------
+
+TEST(SignalTable, IdsFollowDeclarationOrder) {
+    const SignalTable table{{{"grid", 16}, {"coeff", 1}, {"acc", 1}}};
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table.id("grid"), 0u);
+    EXPECT_EQ(table.id("coeff"), 1u);
+    EXPECT_EQ(table.id("acc"), 2u);
+    EXPECT_EQ(table.name(0), "grid");
+    EXPECT_EQ(table.spec(1).elements, 1u);
+    EXPECT_EQ(table.spec(0).elements, 16u);
+}
+
+TEST(SignalTable, UnknownNamesAreLoud) {
+    const SignalTable table{{{"a", 1}, {"b", 1}}};
+    EXPECT_FALSE(table.find("c").has_value());
+    EXPECT_TRUE(table.contains("a"));
+    EXPECT_FALSE(table.contains("ab"));
+    EXPECT_THROW((void)table.id("c"), std::out_of_range);
+    EXPECT_THROW((void)table.name(5), std::out_of_range);
+}
+
+TEST(SignalTable, RejectsDuplicateNames) {
+    EXPECT_THROW(SignalTable({{"x", 1}, {"y", 1}, {"x", 2}}),
+                 std::invalid_argument);
+}
+
+TEST(SignalTable, AppTablesMatchDeclarations) {
+    for (const auto& name : tp::apps::app_names()) {
+        const auto app = tp::apps::make_app(name);
+        const SignalTable& table = app->signal_table();
+        const auto& specs = app->signals();
+        ASSERT_EQ(table.size(), specs.size()) << name;
+        for (SignalId id = 0; id < specs.size(); ++id) {
+            EXPECT_EQ(table.id(specs[id].name), id) << name;
+            EXPECT_EQ(table.name(id), specs[id].name) << name;
+        }
+    }
+}
+
+TEST(SignalTable, SharedBetweenAppAndClones) {
+    const auto app = tp::apps::make_app("dwt");
+    const auto clone = app->clone();
+    EXPECT_EQ(&app->signal_table(), &clone->signal_table());
+}
+
+// --- TypeConfig hashing and equality ----------------------------------------
+
+TEST(TypeConfig, EqualityAndHashTrackContents) {
+    TypeConfig a{3, tp::kBinary16};
+    TypeConfig b{3, tp::kBinary16};
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+
+    b.set(1, tp::kBinary32);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.hash(), b.hash());
+
+    a.set(1, tp::kBinary32);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(TypeConfig, PositionMattersForHash) {
+    // binary16 {5,10} vs binary16alt {8,7} swapped between two slots: same
+    // multiset of formats, different binding.
+    TypeConfig a{2, tp::kBinary16};
+    a.set(1, tp::kBinary16Alt);
+    TypeConfig b{2, tp::kBinary16Alt};
+    b.set(1, tp::kBinary16);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(TypeConfig, IndexedAccess) {
+    TypeConfig config{4, tp::kBinary32};
+    config.set(2, tp::kBinary8);
+    EXPECT_EQ(config[2], tp::kBinary8);
+    EXPECT_EQ(config.at(3), tp::kBinary32);
+    EXPECT_THROW((void)config.at(4), std::out_of_range);
+    EXPECT_THROW(config.set(4, tp::kBinary8), std::out_of_range);
+    EXPECT_EQ(config.size(), 4u);
+}
+
+TEST(TypeConfig, UniformConfigCoversEverySignal) {
+    const auto app = tp::apps::make_app("svm");
+    const TypeConfig config = app->uniform_config(tp::kBinary16);
+    ASSERT_EQ(config.size(), app->signals().size());
+    for (SignalId id = 0; id < config.size(); ++id) {
+        EXPECT_EQ(config[id], tp::kBinary16);
+    }
+}
+
+// --- EvalEngine memoization -------------------------------------------------
+
+TEST(EvalEngine, GoldenMatchesAppGolden) {
+    auto app = tp::apps::make_app("knn");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    const auto expected = app->golden(1);
+    const auto& actual = engine.golden(1);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i]);
+    }
+    // Second request is served from the cache (one golden run total).
+    (void)engine.golden(1);
+    EXPECT_EQ(engine.stats().golden_runs, 1u);
+}
+
+TEST(EvalEngine, RepeatedTrialsHitTheCache) {
+    const auto app = tp::apps::make_app("conv");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    const TypeConfig config = app->uniform_config(tp::kBinary16);
+
+    const auto first = engine.output(0, config);
+    const auto second = engine.output(0, config);
+    EXPECT_EQ(first, second);
+    auto stats = engine.stats();
+    EXPECT_EQ(stats.trials, 2u);
+    EXPECT_EQ(stats.kernel_runs, 1u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+
+    // A different input set is a different trial.
+    (void)engine.output(1, config);
+    stats = engine.stats();
+    EXPECT_EQ(stats.kernel_runs, 2u);
+
+    // meets() applies epsilon to the cached output: two requirements, one
+    // kernel execution.
+    (void)engine.meets(0, config, 1e-1);
+    (void)engine.meets(0, config, 1e-6);
+    stats = engine.stats();
+    EXPECT_EQ(stats.trials, 5u);
+    EXPECT_EQ(stats.kernel_runs, 2u);
+    EXPECT_EQ(stats.cache_hits, 3u);
+}
+
+TEST(EvalEngine, RejectsWrongSizedConfigs) {
+    const auto app = tp::apps::make_app("pca"); // 7 signals
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    EXPECT_THROW((void)engine.output(0, TypeConfig{}), std::invalid_argument);
+    const auto other = tp::apps::make_app("jacobi"); // 4 signals
+    EXPECT_THROW((void)engine.meets(0, other->uniform_config(tp::kBinary32), 1e-1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)engine.report(0, TypeConfig{1}, false),
+                 std::invalid_argument);
+    // Rejected configs leave the counters (and their trials == hits + runs
+    // invariant) untouched.
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.trials, 0u);
+    EXPECT_EQ(stats.kernel_runs, 0u);
+    EXPECT_EQ(stats.golden_runs, 0u);
+    // Correctly sized configs still flow.
+    EXPECT_NO_THROW((void)engine.output(0, app->uniform_config(tp::kBinary32)));
+}
+
+TEST(EvalEngine, MemoizationCanBeDisabled) {
+    const auto app = tp::apps::make_app("knn");
+    EvalEngine engine{*app, EvalEngine::Options{.threads = 1, .memoize = false}};
+    const TypeConfig config = app->uniform_config(tp::kBinary16);
+    const auto first = engine.output(0, config);
+    const auto second = engine.output(0, config);
+    EXPECT_EQ(first, second); // determinism, not caching
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.trials, 2u);
+    EXPECT_EQ(stats.kernel_runs, 2u);
+    EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(EvalEngine, ReportCacheKeysOnSimd) {
+    const auto app = tp::apps::make_app("dwt");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    const TypeConfig config = app->uniform_config(tp::kBinary16);
+    const auto scalar = engine.report(0, config, /*simd=*/false);
+    const auto simd = engine.report(0, config, /*simd=*/true);
+    EXPECT_LT(simd.cycles, scalar.cycles); // DWT vectorizes
+    const auto again = engine.report(0, config, /*simd=*/true);
+    EXPECT_EQ(again.cycles, simd.cycles);
+    EXPECT_EQ(again.energy.total(), simd.energy.total());
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.trials, 3u);
+    EXPECT_EQ(stats.kernel_runs, 2u); // (simd=false), (simd=true); third hit
+    EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(EvalEngine, ClearCacheForcesRerunsButKeepsGoldens) {
+    const auto app = tp::apps::make_app("knn");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    const TypeConfig config = app->uniform_config(tp::kBinary8);
+    const auto& golden = engine.golden(0);
+    const auto first = engine.output(0, config);
+    engine.clear_cache();
+    const auto second = engine.output(0, config);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(engine.stats().kernel_runs, 2u);
+    // The golden reference survives clear_cache (documented contract).
+    EXPECT_EQ(&engine.golden(0), &golden);
+    EXPECT_EQ(engine.stats().golden_runs, 1u);
+}
+
+// --- Cache-coherent determinism contract ------------------------------------
+
+SearchOptions fast_options() {
+    SearchOptions options;
+    options.epsilon = 1e-2;
+    options.type_system = tp::TypeSystem{tp::TypeSystemKind::V2};
+    options.input_sets = {0, 1};
+    options.max_passes = 2;
+    return options;
+}
+
+void expect_identical(const TuningResult& a, const TuningResult& b,
+                      const std::string& label) {
+    // Per-field checks first for a readable failure message...
+    EXPECT_EQ(a.program_runs, b.program_runs) << label;
+    ASSERT_EQ(a.signals.size(), b.signals.size()) << label;
+    for (std::size_t i = 0; i < a.signals.size(); ++i) {
+        EXPECT_EQ(a.signals[i].name, b.signals[i].name) << label;
+        EXPECT_EQ(a.signals[i].precision_bits, b.signals[i].precision_bits)
+            << label << " signal " << a.signals[i].name;
+        EXPECT_EQ(a.signals[i].bound, b.signals[i].bound)
+            << label << " signal " << a.signals[i].name;
+    }
+    // ...then the full memberwise predicate, so fields added to
+    // TuningResult later are covered without touching this helper.
+    EXPECT_TRUE(a == b) << label;
+}
+
+// Cold cache, warm cache, disabled cache and the serial path must yield
+// bit-identical TuningResults, program_runs included.
+void expect_cache_coherent(const std::string& app_name) {
+    const auto app = tp::apps::make_app(app_name);
+    const auto options = fast_options();
+
+    EvalEngine cached{*app, EvalEngine::Options{.threads = 1, .memoize = true}};
+    const TuningResult cold = distributed_search(cached, options);
+    const std::size_t cold_runs = cached.stats().kernel_runs;
+    const TuningResult warm = distributed_search(cached, options);
+    expect_identical(cold, warm, app_name + ": warm vs cold");
+    // The warm search re-ran nothing.
+    EXPECT_EQ(cached.stats().kernel_runs, cold_runs) << app_name;
+    EXPECT_GT(cached.stats().cache_hits, 0u) << app_name;
+
+    EvalEngine uncached{*app,
+                        EvalEngine::Options{.threads = 1, .memoize = false}};
+    const TuningResult reference = distributed_search(uncached, options);
+    expect_identical(cold, reference, app_name + ": cold vs uncached");
+    EXPECT_EQ(uncached.stats().cache_hits, 0u);
+
+    EvalEngine parallel{*app,
+                        EvalEngine::Options{.threads = 4, .memoize = true}};
+    const TuningResult threaded_cold = distributed_search(parallel, options);
+    const TuningResult threaded_warm = distributed_search(parallel, options);
+    expect_identical(cold, threaded_cold, app_name + ": threads=4 cold");
+    expect_identical(cold, threaded_warm, app_name + ": threads=4 warm");
+}
+
+TEST(EvalEngine, CacheCoherentDeterminismPca) { expect_cache_coherent("pca"); }
+
+TEST(EvalEngine, CacheCoherentDeterminismDwt) { expect_cache_coherent("dwt"); }
+
+TEST(EvalEngine, SharedEngineAccountsAcrossSearches) {
+    const auto app = tp::apps::make_app("dwt");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    const auto options = fast_options();
+    (void)distributed_search(engine, options);
+    (void)distributed_search(engine, options);
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.trials, stats.kernel_runs + stats.cache_hits);
+    // The second search was fully memoized, so at least half of all trials
+    // were hits.
+    EXPECT_GE(2 * stats.cache_hits, stats.trials);
+}
+
+TEST(EvalEngine, CastAwareReportsEngineStats) {
+    auto app = tp::apps::make_app("knn");
+    tp::tuning::CastAwareOptions options;
+    options.search = fast_options();
+    options.max_rounds = 1;
+    const auto result = tp::tuning::cast_aware_search(*app, options);
+    EXPECT_EQ(result.eval_stats.trials,
+              result.eval_stats.kernel_runs + result.eval_stats.cache_hits);
+    EXPECT_GT(result.eval_stats.trials, 0u);
+    EXPECT_GT(result.eval_stats.cache_hits, 0u);
+}
+
+} // namespace

@@ -45,9 +45,71 @@ TEST(ConfigIo, RejectsMalformedLines) {
     std::istringstream range{"grid 40\n"};
     EXPECT_THROW((void)tp::tuning::read_precision_config(range),
                  std::runtime_error);
+    std::istringstream zero{"grid 0\n"};
+    EXPECT_THROW((void)tp::tuning::read_precision_config(zero),
+                 std::runtime_error);
+    // Precision 1 would construct the invalid format {e, m=0}
+    // (kMinPrecisionBits is 2) — the boundary must reject it too.
+    std::istringstream below_min{"grid 1\n"};
+    EXPECT_THROW((void)tp::tuning::read_precision_config(below_min),
+                 std::runtime_error);
     std::istringstream trailing{"grid 5 junk\n"};
     EXPECT_THROW((void)tp::tuning::read_precision_config(trailing),
                  std::runtime_error);
+    std::istringstream not_a_number{"grid twelve\n"};
+    EXPECT_THROW((void)tp::tuning::read_precision_config(not_a_number),
+                 std::runtime_error);
+}
+
+TEST(ConfigIo, ValidatesAgainstSignalTable) {
+    const auto app = tp::apps::make_app("jacobi");
+    const auto& table = app->signal_table();
+
+    // Every declared signal parses and validates.
+    std::istringstream good{"grid 12\ncoeff 3\ngrid_in 5\ntmp 24\n"};
+    const auto parsed = tp::tuning::read_precision_config(good, table);
+    EXPECT_EQ(parsed.size(), 4u);
+    EXPECT_EQ(parsed.at("grid_in"), 5);
+
+    // An unknown signal is rejected loudly, not carried along.
+    std::istringstream unknown{"grid 12\nnosuchsignal 7\n"};
+    try {
+        (void)tp::tuning::read_precision_config(unknown, table);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("nosuchsignal"), std::string::npos);
+    }
+
+    tp::tuning::PrecisionConfig stale{{"grid", 12}, {"renamed_signal", 3}};
+    EXPECT_THROW(tp::tuning::validate_precision_config(stale, table),
+                 std::runtime_error);
+}
+
+TEST(ConfigIo, RoundTripSurvivesCommentsAndBlankLines) {
+    const auto app = tp::apps::make_app("dwt");
+    const auto& table = app->signal_table();
+    tp::tuning::PrecisionConfig config;
+    for (const auto& spec : app->signals()) config[spec.name] = 11;
+    config["acc"] = 24;
+
+    // write -> decorate with comments/blank lines -> read+validate.
+    std::stringstream ss;
+    tp::tuning::write_precision_config(ss, config);
+    std::string text = "# leading comment\n\n" + ss.str() + "\n  # trailing\n";
+    std::istringstream is{text};
+    const auto parsed = tp::tuning::read_precision_config(is, table);
+    EXPECT_EQ(parsed, config);
+
+    // A tuning result's exported config round-trips and validates too.
+    auto search_app = tp::apps::make_app("dwt");
+    SearchOptions options;
+    options.input_sets = {0};
+    options.max_passes = 1;
+    const auto result = distributed_search(*search_app, options);
+    std::stringstream rs;
+    tp::tuning::write_precision_config(rs, result.precision_config());
+    EXPECT_EQ(tp::tuning::read_precision_config(rs, table),
+              result.precision_config());
 }
 
 SearchOptions fast_options(double epsilon, tp::TypeSystemKind kind) {
@@ -175,6 +237,8 @@ void expect_parallel_matches_serial(const std::string& app_name) {
         EXPECT_EQ(serial.signals[i].bound, parallel.signals[i].bound)
             << app_name << " signal " << serial.signals[i].name;
     }
+    // The memberwise predicate covers any future TuningResult field.
+    EXPECT_TRUE(serial == parallel) << app_name;
 }
 
 TEST(Search, ParallelMatchesSerialPca) { expect_parallel_matches_serial("pca"); }
