@@ -2,20 +2,41 @@
 // compute-on-native-then-sanitize strategy "produces binaries that are
 // fast to execute", unlike SoftFloat-style emulation which performs every
 // operation in (integer) software. Both backends are bit-exact; this
-// google-benchmark binary measures their throughput against native float
-// on the same dot-product micro-kernel.
-#include <benchmark/benchmark.h>
-
+// bench measures their throughput against native float on the same
+// dot-product micro-kernel.
+//
+// Harness-based (no Google Benchmark dependency — ROADMAP open item):
+// each backend's kernel is warmed up once, then re-run until a minimum
+// wall time has accumulated; the per-element time is total elapsed over
+// total elements. Results are printed and written to
+// BENCH_flexfloat_overhead.json (CI artifact).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "flexfloat/flexfloat.hpp"
 #include "flexfloat/flexfloat_dyn.hpp"
+#include "harness.hpp"
+#include "json.hpp"
 #include "softfloat/softfloat.hpp"
 #include "util/random.hpp"
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 constexpr std::size_t kN = 1024;
+/// Each kernel is timed for at least this long; long enough to swamp the
+/// clock granularity, short enough that the slowest backend (softfloat,
+/// ~100x native) keeps the bench under a few seconds.
+constexpr double kMinSeconds = 0.05;
+
+/// Defeats dead-code elimination of the measured loops without an
+/// optimizer-visible data dependency on the timing path.
+volatile double g_sink = 0.0;
 
 std::vector<double> make_inputs(std::uint64_t seed) {
     tp::util::Xoshiro256 rng{seed};
@@ -24,67 +45,79 @@ std::vector<double> make_inputs(std::uint64_t seed) {
     return xs;
 }
 
-void BM_NativeFloat(benchmark::State& state) {
-    const auto xs = make_inputs(1);
-    const auto ys = make_inputs(2);
-    for (auto _ : state) {
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < kN; ++i) {
-            acc += static_cast<float>(xs[i]) * static_cast<float>(ys[i]);
-        }
-        benchmark::DoNotOptimize(acc);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+struct Measurement {
+    std::string name;
+    double ns_per_element = 0.0;
+    std::size_t iterations = 0;
+};
+
+/// Runs `kernel` (one pass over kN elements returning its accumulator)
+/// until kMinSeconds has elapsed and reports ns per element.
+template <typename Kernel>
+Measurement measure(std::string name, Kernel kernel) {
+    g_sink = kernel(); // warm-up: faults, caches, lazy init
+    std::size_t iterations = 0;
+    double elapsed = 0.0;
+    const auto start = Clock::now();
+    do {
+        g_sink = kernel();
+        ++iterations;
+        elapsed = tp::bench::seconds_since(start);
+    } while (elapsed < kMinSeconds);
+    Measurement m;
+    m.name = std::move(name);
+    m.iterations = iterations;
+    m.ns_per_element =
+        1e9 * elapsed / (static_cast<double>(iterations) * static_cast<double>(kN));
+    return m;
 }
-BENCHMARK(BM_NativeFloat);
+
+double native_float_kernel(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < kN; ++i) {
+        acc += static_cast<float>(xs[i]) * static_cast<float>(ys[i]);
+    }
+    return static_cast<double>(acc);
+}
 
 template <int E, int M>
-void BM_FlexFloat(benchmark::State& state) {
-    const auto xs = make_inputs(1);
-    const auto ys = make_inputs(2);
+Measurement measure_flexfloat(const char* name, const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
     std::vector<tp::flexfloat<E, M>> fx(kN);
     std::vector<tp::flexfloat<E, M>> fy(kN);
     for (std::size_t i = 0; i < kN; ++i) {
         fx[i] = xs[i];
         fy[i] = ys[i];
     }
-    for (auto _ : state) {
+    return measure(name, [&fx, &fy] {
         tp::flexfloat<E, M> acc = 0.0;
         for (std::size_t i = 0; i < kN; ++i) {
             acc += fx[i] * fy[i];
         }
-        benchmark::DoNotOptimize(acc);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+        return static_cast<double>(acc);
+    });
 }
-BENCHMARK(BM_FlexFloat<8, 23>)->Name("BM_FlexFloat_binary32");
-BENCHMARK(BM_FlexFloat<5, 10>)->Name("BM_FlexFloat_binary16");
-BENCHMARK(BM_FlexFloat<8, 7>)->Name("BM_FlexFloat_binary16alt");
-BENCHMARK(BM_FlexFloat<5, 2>)->Name("BM_FlexFloat_binary8");
 
-void BM_FlexFloatDyn(benchmark::State& state) {
-    const auto xs = make_inputs(1);
-    const auto ys = make_inputs(2);
+Measurement measure_flexfloat_dyn(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
     std::vector<tp::FlexFloatDyn> fx;
     std::vector<tp::FlexFloatDyn> fy;
     for (std::size_t i = 0; i < kN; ++i) {
         fx.emplace_back(xs[i], tp::kBinary16);
         fy.emplace_back(ys[i], tp::kBinary16);
     }
-    for (auto _ : state) {
+    return measure("flexfloat_dyn_binary16", [&fx, &fy] {
         tp::FlexFloatDyn acc{0.0, tp::kBinary16};
         for (std::size_t i = 0; i < kN; ++i) {
             acc += fx[i] * fy[i];
         }
-        benchmark::DoNotOptimize(acc);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+        return acc.value();
+    });
 }
-BENCHMARK(BM_FlexFloatDyn)->Name("BM_FlexFloatDyn_binary16");
 
-void BM_SoftFloatEmulation(benchmark::State& state) {
-    const auto xs = make_inputs(1);
-    const auto ys = make_inputs(2);
+Measurement measure_softfloat(const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
     const tp::FpFormat f = tp::kBinary16;
     std::vector<std::uint64_t> fx(kN);
     std::vector<std::uint64_t> fy(kN);
@@ -92,17 +125,58 @@ void BM_SoftFloatEmulation(benchmark::State& state) {
         fx[i] = tp::encode(xs[i], f);
         fy[i] = tp::encode(ys[i], f);
     }
-    for (auto _ : state) {
+    return measure("softfloat_binary16", [&fx, &fy, f] {
         std::uint64_t acc = 0;
         for (std::size_t i = 0; i < kN; ++i) {
             acc = tp::softfloat::add(acc, tp::softfloat::mul(fx[i], fy[i], f), f);
         }
-        benchmark::DoNotOptimize(acc);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+        return tp::decode(acc, f);
+    });
 }
-BENCHMARK(BM_SoftFloatEmulation)->Name("BM_SoftFloat_binary16");
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main() {
+    const auto xs = make_inputs(1);
+    const auto ys = make_inputs(2);
+
+    std::vector<Measurement> results;
+    results.push_back(
+        measure("native_float", [&xs, &ys] { return native_float_kernel(xs, ys); }));
+    results.push_back(measure_flexfloat<8, 23>("flexfloat_binary32", xs, ys));
+    results.push_back(measure_flexfloat<5, 10>("flexfloat_binary16", xs, ys));
+    results.push_back(measure_flexfloat<8, 7>("flexfloat_binary16alt", xs, ys));
+    results.push_back(measure_flexfloat<5, 2>("flexfloat_binary8", xs, ys));
+    results.push_back(measure_flexfloat_dyn(xs, ys));
+    results.push_back(measure_softfloat(xs, ys));
+
+    const double native_ns = results.front().ns_per_element;
+    std::printf("# FlexFloat emulation overhead — %zu-element dot product, "
+                "min %.0f ms per backend\n\n",
+                kN, 1e3 * kMinSeconds);
+    std::printf("%-24s %12s %14s %12s\n", "backend", "ns/element",
+                "vs native", "iterations");
+    auto backends = tp::bench::Json::array();
+    for (const Measurement& m : results) {
+        const double slowdown = m.ns_per_element / native_ns;
+        std::printf("%-24s %12.2f %13.1fx %12zu\n", m.name.c_str(),
+                    m.ns_per_element, slowdown, m.iterations);
+        backends.item_raw(tp::bench::Json::object()
+                              .field("backend", m.name)
+                              .field("ns_per_element", m.ns_per_element)
+                              .field("slowdown_vs_native", slowdown)
+                              .field("iterations", m.iterations)
+                              .str(2));
+    }
+
+    const auto doc = tp::bench::Json::object()
+                         .field("bench", "bench_flexfloat_overhead")
+                         .field("elements", kN)
+                         .field("min_seconds_per_backend", kMinSeconds)
+                         .raw("backends", backends.str(2))
+                         .str();
+    std::ofstream out{"BENCH_flexfloat_overhead.json"};
+    out << doc << "\n";
+    std::printf("\nwrote BENCH_flexfloat_overhead.json\n");
+    return 0;
+}

@@ -1,0 +1,170 @@
+// Batched tuning service under an overlapping request mix
+// (tuning/service.hpp).
+//
+// The service scenario the ROADMAP targets: bursts of (app, epsilon)
+// requests against long-lived per-app EvalEngines. This bench submits one
+// realistic burst — two apps x the paper's three quality requirements,
+// plus one exact repeat per app — and measures what the shared caches
+// eliminate:
+//
+//   * cold batch, 4 workers — the headline cross_request_hit_rate: the
+//     fraction of the batch's trials served from cache, counting hits
+//     ACROSS requests (single-flight makes the counters exact even with
+//     concurrent workers);
+//   * repeat batch on the warm service — the steady-state: 100% hits;
+//   * the same batch serially and on an LRU-budgeted service — both must
+//     return bit-identical results (the determinism contract over thread
+//     count and eviction state), and the serial counters must equal the
+//     threaded ones exactly.
+//
+// Results go to BENCH_service.json (CI artifact).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "json.hpp"
+#include "tuning/service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using tp::bench::seconds_since;
+using tp::tuning::EvalStats;
+using tp::tuning::TuningBatchResult;
+using tp::tuning::TuningRequest;
+using tp::tuning::TuningService;
+
+std::vector<TuningRequest> overlapping_batch() {
+    std::vector<TuningRequest> batch;
+    for (const char* app : {"pca", "dwt"}) {
+        for (const double epsilon : tp::bench::kEpsilons) {
+            TuningRequest request;
+            request.app = app;
+            request.epsilon = epsilon;
+            request.input_sets = {0, 1, 2};
+            request.options =
+                tp::bench::bench_search_options(epsilon, tp::TypeSystemKind::V2);
+            batch.push_back(std::move(request));
+        }
+        batch.push_back(batch[batch.size() - 2]); // repeat the 1e-2 request
+    }
+    return batch;
+}
+
+bool identical_batches(const TuningBatchResult& a, const TuningBatchResult& b) {
+    if (a.results.size() != b.results.size()) return false;
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        if (!tp::bench::identical_results(a.results[i], b.results[i])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string stats_json(const EvalStats& stats, double wall_seconds) {
+    return tp::bench::Json::object()
+        .field("trials", stats.trials)
+        .field("kernel_runs", stats.kernel_runs)
+        .field("cache_hits", stats.cache_hits)
+        .field("golden_runs", stats.golden_runs)
+        .field("evictions", stats.evictions)
+        .field("hit_rate", stats.hit_rate())
+        .field("wall_seconds", wall_seconds)
+        .str(2);
+}
+
+void print_stats(const char* label, const EvalStats& stats,
+                 double wall_seconds) {
+    std::printf("%-14s %5zu trials %5zu runs %5zu hits %4zu evicted "
+                "(%.1f%% eliminated) %.3fs\n",
+                label, stats.trials, stats.kernel_runs, stats.cache_hits,
+                stats.evictions, 100.0 * stats.hit_rate(), wall_seconds);
+}
+
+} // namespace
+
+int main() {
+    const auto batch = overlapping_batch();
+    std::printf("# batched tuning service — %zu overlapping requests "
+                "(pca+dwt x epsilon 1e-3/1e-2/1e-1 + repeats)\n\n",
+                batch.size());
+
+    // Headline: cold overlapping batch on four workers.
+    TuningService threaded{TuningService::Options{.threads = 4}};
+    const auto cold_start = Clock::now();
+    const auto cold = threaded.run(batch);
+    const double cold_seconds = seconds_since(cold_start);
+    print_stats("cold x4", cold.stats, cold_seconds);
+
+    // Steady state: the same burst again on the warm service.
+    const auto warm_start = Clock::now();
+    const auto warm = threaded.run(batch);
+    const double warm_seconds = seconds_since(warm_start);
+    print_stats("warm x4", warm.stats, warm_seconds);
+
+    // Reference: the same batch serially — results AND counters must
+    // match the threaded run exactly (single-flight).
+    TuningService serial_service{TuningService::Options{.threads = 1}};
+    const auto serial_start = Clock::now();
+    const auto serial = serial_service.run(batch);
+    const double serial_seconds = seconds_since(serial_start);
+    print_stats("cold serial", serial.stats, serial_seconds);
+
+    // Eviction stress: a budget far below the batch's footprint.
+    constexpr std::size_t kTinyBudget = 16 * 1024;
+    TuningService evicting{TuningService::Options{
+        .threads = 4, .cache_budget_bytes = kTinyBudget}};
+    const auto evicting_start = Clock::now();
+    const auto evicted = evicting.run(batch);
+    const double evicting_seconds = seconds_since(evicting_start);
+    print_stats("cold evicting", evicted.stats, evicting_seconds);
+
+    const bool results_identical = identical_batches(cold, serial) &&
+                                   identical_batches(cold, warm) &&
+                                   identical_batches(cold, evicted);
+    const bool counters_exact = cold.stats == serial.stats;
+    const bool warm_fully_cached =
+        warm.stats.kernel_runs == 0 && warm.stats.cache_hits == warm.stats.trials;
+    const bool eviction_occurred = evicted.stats.evictions > 0;
+
+    std::printf("\nbatch identical across thread counts, warmth, eviction: %s\n"
+                "threaded counters exactly equal serial: %s\n"
+                "warm batch fully cached: %s\n"
+                "eviction stress evicted entries: %s\n",
+                results_identical ? "yes" : "NO", counters_exact ? "yes" : "NO",
+                warm_fully_cached ? "yes" : "NO",
+                eviction_occurred ? "yes" : "NO");
+
+    const auto doc =
+        tp::bench::Json::object()
+            .field("bench", "bench_tuning_service")
+            .field("scenario",
+                   "overlapping batch: pca+dwt x epsilon 1e-3/1e-2/1e-1 "
+                   "+ one repeat per app, 4 workers")
+            .field("requests", batch.size())
+            .field("cross_request_hit_rate", cold.stats.hit_rate())
+            .field("bit_identical", results_identical)
+            .field("counters_exact", counters_exact)
+            .field("eviction_budget_bytes", kTinyBudget)
+            .raw("cold_threads4", stats_json(cold.stats, cold_seconds))
+            .raw("warm_threads4", stats_json(warm.stats, warm_seconds))
+            .raw("cold_serial", stats_json(serial.stats, serial_seconds))
+            .raw("cold_evicting", stats_json(evicted.stats, evicting_seconds))
+            .str();
+    std::ofstream out{"BENCH_service.json"};
+    out << doc << "\n";
+    std::printf("\nwrote BENCH_service.json\n");
+
+    if (!results_identical || !counters_exact || !warm_fully_cached ||
+        !eviction_occurred) {
+        std::printf("FAIL: service contract violated\n");
+        return 1;
+    }
+    std::printf("service contract holds: bit-identical results, exact "
+                "counters, %0.1f%% of cold-batch trials served from cache\n",
+                100.0 * cold.stats.hit_rate());
+    return 0;
+}

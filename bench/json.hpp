@@ -3,10 +3,16 @@
 // The benches append perf numbers to BENCH_*.json files so the trajectory
 // (wall time, kernel-run counts, cache hit-rates) is tracked across PRs by
 // tooling instead of eyeballed from stdout. Ordered fields, no external
-// dependency; values are built as strings, so the writer stays ~60 lines.
+// dependency; values are built as strings. Strings are escaped per RFC
+// 8259 (quotes, backslashes, control characters), doubles are emitted at
+// max_digits10 so they round-trip, and non-finite doubles become null —
+// the output is always valid JSON (tests/test_bench_json.cpp).
 #pragma once
 
+#include <cmath>
 #include <concepts>
+#include <cstdio>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -78,15 +84,37 @@ private:
     static std::string quote(std::string_view s) {
         std::string out = "\"";
         for (const char c : s) {
-            if (c == '"' || c == '\\') out += '\\';
-            out += c;
+            switch (c) {
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                case '\n': out += "\\n"; break;
+                case '\t': out += "\\t"; break;
+                case '\r': out += "\\r"; break;
+                default:
+                    // RFC 8259: all other control characters must be
+                    // \u-escaped; everything else passes through (the
+                    // emitter writes UTF-8 bytes untouched).
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char escape[8];
+                        std::snprintf(escape, sizeof escape, "\\u%04x",
+                                      static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+                        out += escape;
+                    } else {
+                        out += c;
+                    }
+            }
         }
         return out + "\"";
     }
 
     static std::string number(double value) {
+        // JSON has no Infinity/NaN literals; null is the conventional
+        // stand-in a reader can detect.
+        if (!std::isfinite(value)) return "null";
         std::ostringstream os;
-        os.precision(12);
+        // max_digits10 makes every emitted double round-trip exactly.
+        os.precision(std::numeric_limits<double>::max_digits10);
         os << value;
         return os.str();
     }

@@ -1,5 +1,7 @@
 #include "tuning/eval_engine.hpp"
 
+#include <cassert>
+#include <future>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -7,9 +9,49 @@
 #include "tuning/quality.hpp"
 
 namespace tp::tuning {
+namespace {
+
+/// Approximate heap cost of one cache entry beyond its payload: the map
+/// node, the LRU node (which carries a key copy), and the shared_ptr
+/// control block. Precision is not the point — the budget only needs to
+/// track real usage closely enough that "bounded" means bounded.
+constexpr std::size_t kEntryOverheadBytes = 160;
+
+std::size_t key_bytes(std::size_t config_signals) {
+    return config_signals * sizeof(tp::FpFormat);
+}
+
+std::size_t output_bytes(const std::vector<double>& output,
+                         std::size_t config_signals) {
+    return output.size() * sizeof(double) + 2 * key_bytes(config_signals) +
+           kEntryOverheadBytes;
+}
+
+std::size_t report_bytes(const sim::RunReport& report,
+                         std::size_t config_signals) {
+    // The per-format map is the only dynamic part of a RunReport; a map
+    // node is roughly the pair plus pointers.
+    return sizeof(sim::RunReport) +
+           report.per_format.size() * (sizeof(FpFormat) +
+                                       sizeof(sim::FormatActivity) + 48) +
+           2 * key_bytes(config_signals) + kEntryOverheadBytes;
+}
+
+} // namespace
+
+/// A single-flight rendezvous: the first requester of a missing key owns
+/// the Flight and executes; concurrent requesters wait on `result`.
+/// Waiters read the value from the future, never from the cache, so an
+/// eviction between publication and wake-up cannot strand them.
+struct EvalEngine::Flight {
+    std::promise<CacheValue> promise;
+    std::shared_future<CacheValue> result = promise.get_future().share();
+};
 
 EvalEngine::EvalEngine(const apps::App& prototype, const Options& options)
-    : master_(prototype.clone()), memoize_(options.memoize) {
+    : master_(prototype.clone()),
+      memoize_(options.memoize),
+      cache_budget_bytes_(options.cache_budget_bytes) {
     if (options.threads > 1) {
         pool_ = std::make_unique<util::ThreadPool>(options.threads);
     }
@@ -55,55 +97,59 @@ void EvalEngine::release_clone(std::unique_ptr<apps::App> clone) {
     clones_.push_back(std::move(clone));
 }
 
+// NOTE: this is the same single-flight rendezvous as obtain(), specialized
+// for the pinned golden map (waiters resolve to a stable reference into
+// goldens_, and nothing counts as a trial). A protocol change there —
+// flight-erase ordering, failure accounting — almost certainly applies
+// here too.
 const std::vector<double>& EvalEngine::golden(unsigned input_set) {
+    std::shared_ptr<Flight> flight;
+    bool runner = false;
     {
         const std::lock_guard<std::mutex> lock{cache_mutex_};
         const auto it = goldens_.find(input_set);
         if (it != goldens_.end()) return it->second;
+        const auto in_flight = golden_flights_.find(input_set);
+        if (in_flight != golden_flights_.end()) {
+            flight = in_flight->second;
+        } else {
+            golden_flights_.emplace(input_set,
+                                    flight = std::make_shared<Flight>());
+            runner = true;
+        }
     }
-    std::unique_ptr<apps::App> app = acquire_clone();
-    std::vector<double> golden = app->golden(input_set);
-    release_clone(std::move(app));
-    {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.golden_runs;
-    }
-    const std::lock_guard<std::mutex> lock{cache_mutex_};
-    // Concurrent first requests may both compute; values are identical by
-    // the determinism contract and try_emplace keeps exactly one.
-    return goldens_.try_emplace(input_set, std::move(golden)).first->second;
-}
-
-const std::vector<double>* EvalEngine::find_output(const TrialKey& key) {
-    if (!memoize_) return nullptr;
-    const std::vector<double>* found = nullptr;
-    {
+    if (!runner) {
+        // Wait for the concurrent computation (and rethrow its failure,
+        // if any); the value itself lives pinned in goldens_.
+        (void)flight->result.get();
         const std::lock_guard<std::mutex> lock{cache_mutex_};
-        const auto it = outputs_.find(key);
-        if (it != outputs_.end()) found = &it->second;
+        return goldens_.at(input_set);
     }
-    if (found != nullptr) {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.cache_hits;
+    try {
+        std::unique_ptr<apps::App> app = acquire_clone();
+        std::vector<double> reference = app->golden(input_set);
+        release_clone(std::move(app));
+        {
+            const std::lock_guard<std::mutex> lock{stats_mutex_};
+            ++stats_.golden_runs;
+        }
+        const std::vector<double>* stored = nullptr;
+        {
+            const std::lock_guard<std::mutex> lock{cache_mutex_};
+            stored = &goldens_.try_emplace(input_set, std::move(reference))
+                          .first->second;
+            golden_flights_.erase(input_set);
+        }
+        flight->promise.set_value(CacheValue{});
+        return *stored;
+    } catch (...) {
+        {
+            const std::lock_guard<std::mutex> lock{cache_mutex_};
+            golden_flights_.erase(input_set);
+        }
+        flight->promise.set_exception(std::current_exception());
+        throw;
     }
-    return found;
-}
-
-std::vector<double> EvalEngine::run_output(const TrialKey& key) {
-    std::unique_ptr<apps::App> app = acquire_clone();
-    app->prepare(key.input_set);
-    sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
-    std::vector<double> out = app->run(ctx, key.config);
-    release_clone(std::move(app));
-    {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.kernel_runs;
-    }
-    if (memoize_) {
-        const std::lock_guard<std::mutex> lock{cache_mutex_};
-        outputs_.try_emplace(key, out);
-    }
-    return out;
 }
 
 std::vector<double> EvalEngine::output(unsigned input_set,
@@ -116,9 +162,9 @@ std::vector<double> EvalEngine::output(unsigned input_set,
         const std::lock_guard<std::mutex> lock{stats_mutex_};
         ++stats_.trials;
     }
-    const TrialKey key{input_set, /*simd=*/false, config};
-    if (const std::vector<double>* cached = find_output(key)) return *cached;
-    return run_output(key);
+    return *obtain(CacheKey{CacheKey::Kind::Output, input_set, /*simd=*/false,
+                            config})
+                .output;
 }
 
 bool EvalEngine::meets(unsigned input_set, const apps::TypeConfig& config,
@@ -128,16 +174,13 @@ bool EvalEngine::meets(unsigned input_set, const apps::TypeConfig& config,
         const std::lock_guard<std::mutex> lock{stats_mutex_};
         ++stats_.trials;
     }
-    // Golden first: both locks are taken and released in sequence, and the
-    // golden reference stays valid while the trial cache mutates (map
-    // nodes are stable).
+    // Golden first: the reference stays valid (pinned) while the trial
+    // cache mutates, and the hit path reduces the shared cached output in
+    // place — no copy.
     const std::vector<double>& reference = golden(input_set);
-    const TrialKey key{input_set, /*simd=*/false, config};
-    // The hit path reduces the cached output in place — no copy.
-    if (const std::vector<double>* cached = find_output(key)) {
-        return meets_requirement(reference, *cached, epsilon);
-    }
-    return meets_requirement(reference, run_output(key), epsilon);
+    const CacheValue value = obtain(
+        CacheKey{CacheKey::Kind::Output, input_set, /*simd=*/false, config});
+    return meets_requirement(reference, *value.output, epsilon);
 }
 
 sim::RunReport EvalEngine::report(unsigned input_set,
@@ -147,44 +190,143 @@ sim::RunReport EvalEngine::report(unsigned input_set,
         const std::lock_guard<std::mutex> lock{stats_mutex_};
         ++stats_.trials;
     }
-    TrialKey key{input_set, simd, config};
-    if (memoize_) {
-        // Locks are taken sequentially, never nested — the engine has no
-        // lock ordering to get wrong (see find_output for the same shape).
-        const sim::RunReport* found = nullptr;
-        {
-            const std::lock_guard<std::mutex> lock{cache_mutex_};
-            const auto it = reports_.find(key);
-            if (it != reports_.end()) found = &it->second;
-        }
-        if (found != nullptr) {
-            {
-                const std::lock_guard<std::mutex> lock{stats_mutex_};
-                ++stats_.cache_hits;
-            }
-            return *found;
-        }
-    }
+    return *obtain(CacheKey{CacheKey::Kind::Report, input_set, simd, config})
+                .report;
+}
+
+EvalEngine::CacheValue EvalEngine::execute(const CacheKey& key) {
     std::unique_ptr<apps::App> app = acquire_clone();
-    app->prepare(input_set);
-    sim::TpContext ctx; // traced run: the platform model needs the program
-    std::vector<double> out = app->run(ctx, config);
+    app->prepare(key.input_set);
+    CacheValue value;
+    if (key.kind == CacheKey::Kind::Output) {
+        sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
+        value.output = std::make_shared<const std::vector<double>>(
+            app->run(ctx, key.config));
+    } else {
+        sim::TpContext ctx; // traced: the platform model needs the program
+        value.output = std::make_shared<const std::vector<double>>(
+            app->run(ctx, key.config));
+        value.report = std::make_shared<const sim::RunReport>(
+            sim::simulate(ctx.take_program(key.simd)));
+    }
     release_clone(std::move(app));
-    sim::RunReport run_report = sim::simulate(ctx.take_program(simd));
     {
         const std::lock_guard<std::mutex> lock{stats_mutex_};
         ++stats_.kernel_runs;
     }
-    if (memoize_) {
+    return value;
+}
+
+EvalEngine::CacheValue EvalEngine::obtain(const CacheKey& key) {
+    if (!memoize_) return execute(key);
+
+    std::shared_ptr<Flight> flight;
+    bool runner = false;
+    CacheValue ready;
+    {
         const std::lock_guard<std::mutex> lock{cache_mutex_};
-        // Tracing does not change the arithmetic, so the output this run
-        // produced also serves future quality trials of the same binding
-        // (e.g. cast-aware cost probe -> quality check on the same set).
-        outputs_.try_emplace(TrialKey{input_set, /*simd=*/false, config},
-                             std::move(out));
-        reports_.try_emplace(std::move(key), run_report);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            // Touch: move to the LRU front. Shared ownership keeps the
+            // value alive for this caller even if it is evicted before
+            // the caller finishes with it.
+            lru_.splice(lru_.begin(), lru_, it->second.lru);
+            ready = it->second.value;
+        } else {
+            const auto in_flight = flights_.find(key);
+            if (in_flight != flights_.end()) {
+                flight = in_flight->second;
+            } else {
+                flights_.emplace(key, flight = std::make_shared<Flight>());
+                runner = true;
+            }
+        }
     }
-    return run_report;
+    // Locks are taken sequentially, never nested — the engine has no lock
+    // ordering to get wrong.
+    if (ready.output != nullptr || ready.report != nullptr) {
+        const std::lock_guard<std::mutex> lock{stats_mutex_};
+        ++stats_.cache_hits;
+        return ready;
+    }
+
+    if (!runner) {
+        // Another thread is executing this exact trial right now; its
+        // result is this request's result — a cache hit that happens to
+        // arrive before publication. Count the hit only once the flight
+        // resolves: if the runner failed, get() rethrows and this trial
+        // produced neither a hit nor a run.
+        CacheValue value = flight->result.get();
+        {
+            const std::lock_guard<std::mutex> lock{stats_mutex_};
+            ++stats_.cache_hits;
+        }
+        return value;
+    }
+
+    try {
+        const CacheValue value = execute(key);
+        std::size_t evicted = 0;
+        {
+            const std::lock_guard<std::mutex> lock{cache_mutex_};
+            flights_.erase(key);
+            if (key.kind == CacheKey::Kind::Output) {
+                evicted += publish(key, value);
+            } else {
+                // The report entry must not retain the output: the two are
+                // budgeted (and evicted) independently, so a pinned extra
+                // reference would keep evicted output bytes alive.
+                evicted += publish(key, CacheValue{nullptr, value.report});
+                // Tracing does not change the arithmetic, so the output
+                // this run produced also serves future quality trials of
+                // the same binding (e.g. cast-aware cost probe -> quality
+                // check on the same set).
+                evicted += publish(CacheKey{CacheKey::Kind::Output,
+                                            key.input_set, /*simd=*/false,
+                                            key.config},
+                                   CacheValue{value.output, nullptr});
+            }
+        }
+        if (evicted > 0) {
+            const std::lock_guard<std::mutex> lock{stats_mutex_};
+            stats_.evictions += evicted;
+        }
+        flight->promise.set_value(value);
+        return value;
+    } catch (...) {
+        {
+            const std::lock_guard<std::mutex> lock{cache_mutex_};
+            flights_.erase(key);
+        }
+        flight->promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+// Requires cache_mutex_ held.
+std::size_t EvalEngine::publish(const CacheKey& key, const CacheValue& value) {
+    const auto [it, inserted] = cache_.try_emplace(key);
+    if (!inserted) return 0; // e.g. a traced run racing a plain output run
+    it->second.value = value;
+    it->second.bytes =
+        key.kind == CacheKey::Kind::Output
+            ? output_bytes(*value.output, key.config.size())
+            : report_bytes(*value.report, key.config.size());
+    lru_.push_front(key);
+    it->second.lru = lru_.begin();
+    cache_bytes_ += it->second.bytes;
+
+    std::size_t evicted = 0;
+    while (cache_budget_bytes_ != 0 && cache_bytes_ > cache_budget_bytes_ &&
+           !lru_.empty()) {
+        const auto victim = cache_.find(lru_.back());
+        assert(victim != cache_.end());
+        cache_bytes_ -= victim->second.bytes;
+        cache_.erase(victim);
+        lru_.pop_back();
+        ++evicted;
+    }
+    return evicted;
 }
 
 EvalStats EvalEngine::stats() const {
@@ -192,12 +334,19 @@ EvalStats EvalEngine::stats() const {
     return stats_;
 }
 
+std::size_t EvalEngine::cache_bytes() const {
+    const std::lock_guard<std::mutex> lock{cache_mutex_};
+    return cache_bytes_;
+}
+
 void EvalEngine::clear_cache() {
     const std::lock_guard<std::mutex> lock{cache_mutex_};
     // Goldens survive: golden() hands out references promised to live as
-    // long as the engine.
-    outputs_.clear();
-    reports_.clear();
+    // long as the engine. In-flight executions are untouched — they will
+    // publish into the now-empty cache when they finish.
+    cache_.clear();
+    lru_.clear();
+    cache_bytes_ = 0;
 }
 
 } // namespace tp::tuning

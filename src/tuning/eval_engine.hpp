@@ -19,25 +19,36 @@
 //   * thread pool    — one util::ThreadPool shared by every phase of a
 //                      search (and across search phases, e.g. the
 //                      DistributedSearch base run inside cast_aware);
-//   * golden cache   — binary64 reference outputs per input set;
+//   * golden cache   — binary64 reference outputs per input set, pinned
+//                      for the engine's lifetime;
 //   * trial cache    — (input_set, config) -> program output, and
 //                      (input_set, config, simd) -> sim::RunReport for
-//                      the platform-cost oracle.
+//                      the platform-cost oracle, bounded by an LRU
+//                      memory budget (Options::cache_budget_bytes).
+//
+// Concurrent first requests for the same key are single-flighted: the
+// first requester executes the kernel, later requesters wait on its
+// in-flight result and count as cache hits. A long-lived engine serving
+// overlapping searches (tuning/service.hpp) therefore never runs the
+// same trial twice concurrently, and the EvalStats counters are exact at
+// any thread count.
 //
 // Cache-coherent determinism contract
 // -----------------------------------
 // Kernels are pure functions of (input_set, config): deterministic
 // FlexFloat double arithmetic over deterministically generated inputs.
 // A cache hit therefore returns exactly the bytes a re-run would
-// produce, so ANY cache state (cold, warm from a previous search, or
-// memoization disabled) and ANY thread count yield bit-identical search
-// results. Callers count logical trials themselves (TuningResult::
-// program_runs is the number of trials *submitted*, unchanged from the
-// pre-cache engine); EvalStats separately reports how many kernel
-// executions the cache eliminated (kernel_runs vs cache_hits).
+// produce, so ANY cache state (cold, warm from a previous search,
+// partially evicted under a memory budget, or memoization disabled) and
+// ANY thread count yield bit-identical search results. Callers count
+// logical trials themselves (TuningResult::program_runs is the number of
+// trials *submitted*, unchanged from the pre-cache engine); EvalStats
+// separately reports how many kernel executions the cache eliminated
+// (kernel_runs vs cache_hits).
 #pragma once
 
 #include <cstddef>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,17 +62,21 @@
 namespace tp::tuning {
 
 /// Observability counters for the memoized trial cache. `trials` counts
-/// evaluation requests, of which `cache_hits` were served from memory and
-/// `kernel_runs` actually executed the kernel (trials == hits + runs).
-/// Golden (binary64 reference) executions are tracked separately — they
-/// are not trials. With threads > 1 concurrent first requests for the
-/// same key may, in principle, both execute (both produce identical
-/// values); counters are exact on the serial path.
+/// evaluation requests, of which `cache_hits` were served from memory
+/// (including waits on a concurrent in-flight execution of the same key)
+/// and `kernel_runs` actually executed the kernel, so
+/// trials == cache_hits + kernel_runs always. Single-flight execution
+/// makes every counter exact at any thread count: concurrent first
+/// requests for the same key execute the kernel exactly once. Golden
+/// (binary64 reference) executions are tracked separately — they are not
+/// trials. `evictions` counts cache entries dropped by the LRU memory
+/// budget.
 struct EvalStats {
     std::size_t trials = 0;
     std::size_t kernel_runs = 0;
     std::size_t cache_hits = 0;
     std::size_t golden_runs = 0;
+    std::size_t evictions = 0;
 
     /// Fraction of trials served from the cache, in [0, 1].
     [[nodiscard]] double hit_rate() const noexcept {
@@ -69,17 +84,51 @@ struct EvalStats {
                    ? 0.0
                    : static_cast<double>(cache_hits) / static_cast<double>(trials);
     }
+
+    /// Counter-wise sum / difference — aggregation across engines and
+    /// before/after deltas (counters are monotone, so a - b of a later
+    /// snapshot minus an earlier one never underflows).
+    EvalStats& operator+=(const EvalStats& other) noexcept {
+        trials += other.trials;
+        kernel_runs += other.kernel_runs;
+        cache_hits += other.cache_hits;
+        golden_runs += other.golden_runs;
+        evictions += other.evictions;
+        return *this;
+    }
+    friend EvalStats operator+(EvalStats a, const EvalStats& b) noexcept {
+        return a += b;
+    }
+    friend EvalStats operator-(EvalStats a, const EvalStats& b) noexcept {
+        a.trials -= b.trials;
+        a.kernel_runs -= b.kernel_runs;
+        a.cache_hits -= b.cache_hits;
+        a.golden_runs -= b.golden_runs;
+        a.evictions -= b.evictions;
+        return a;
+    }
+
+    friend bool operator==(const EvalStats&, const EvalStats&) = default;
 };
 
 class EvalEngine {
 public:
     struct Options {
         /// Worker threads for fanned-out trials; <= 1 keeps the serial
-        /// reference path (no pool is created).
+        /// reference path (no pool is created). The engine's public
+        /// methods are thread-safe regardless — external callers (e.g.
+        /// the TuningService's batch workers) may share a pool-less
+        /// engine.
         unsigned threads = 1;
         /// Trial memoization. Disabling re-runs every trial — results are
         /// identical by the determinism contract; only EvalStats change.
         bool memoize = true;
+        /// Upper bound, in bytes, of memoized trial outputs and reports;
+        /// least-recently-used entries are evicted once it is exceeded.
+        /// 0 means unbounded. Goldens are pinned and never count against
+        /// the budget. Eviction only costs re-runs: results stay
+        /// bit-identical in any eviction state.
+        std::size_t cache_budget_bytes = 0;
     };
 
     /// Snapshots `prototype` (one clone) — the engine never mutates or
@@ -99,9 +148,10 @@ public:
     /// threads <= 1 (serial path).
     [[nodiscard]] util::ThreadPool* pool() noexcept { return pool_.get(); }
 
-    /// Binary64 reference output for `input_set`, computed once. The
-    /// returned reference stays valid for the engine's lifetime —
-    /// clear_cache() keeps the goldens.
+    /// Binary64 reference output for `input_set`, computed once
+    /// (concurrent first requests are single-flighted). The returned
+    /// reference stays valid for the engine's lifetime — goldens are
+    /// pinned: neither clear_cache() nor the LRU budget touches them.
     const std::vector<double>& golden(unsigned input_set);
 
     /// Program output under `config` on `input_set` (untraced run).
@@ -121,24 +171,53 @@ public:
 
     [[nodiscard]] EvalStats stats() const;
 
+    /// Bytes currently charged to the trial cache (outputs + reports,
+    /// excluding pinned goldens). Never exceeds a non-zero
+    /// Options::cache_budget_bytes once an insertion completes.
+    [[nodiscard]] std::size_t cache_bytes() const;
+
     /// Drops every memoized trial output and report; goldens and counters
-    /// are kept. Must not run concurrently with in-flight evaluations.
+    /// are kept. Safe to call concurrently with evaluations — readers
+    /// hold shared ownership of the values they are using, and in-flight
+    /// executions publish into the now-empty cache.
     void clear_cache();
 
 private:
-    struct TrialKey {
+    /// One key space for both caches: `kind` separates untraced outputs
+    /// from traced (input_set, config, simd) platform reports so the two
+    /// can share the LRU list and the memory budget.
+    struct CacheKey {
+        enum class Kind : unsigned char { Output, Report };
+        Kind kind = Kind::Output;
         unsigned input_set = 0;
-        bool simd = false; // only meaningful for the report cache
+        bool simd = false; // only meaningful for report entries
         apps::TypeConfig config;
-        friend bool operator==(const TrialKey&, const TrialKey&) = default;
+        friend bool operator==(const CacheKey&, const CacheKey&) = default;
     };
-    struct TrialKeyHash {
-        [[nodiscard]] std::size_t operator()(const TrialKey& key) const noexcept {
+    struct CacheKeyHash {
+        [[nodiscard]] std::size_t operator()(const CacheKey& key) const noexcept {
             std::uint64_t h = key.config.hash();
             h = (h ^ key.input_set) * 1099511628211ULL;
             h = (h ^ static_cast<std::uint64_t>(key.simd)) * 1099511628211ULL;
+            h = (h ^ static_cast<std::uint64_t>(key.kind)) * 1099511628211ULL;
             return static_cast<std::size_t>(h);
         }
+    };
+
+    /// What an in-flight execution resolves to: the output for Output
+    /// keys, the report for Report keys. Shared ownership keeps a value
+    /// alive for waiters and readers even after the LRU budget evicts its
+    /// cache entry.
+    struct CacheValue {
+        std::shared_ptr<const std::vector<double>> output;
+        std::shared_ptr<const sim::RunReport> report;
+    };
+    struct Flight; // promise/shared_future pair, defined in the .cpp
+
+    struct CacheEntry {
+        CacheValue value;
+        std::size_t bytes = 0;
+        std::list<CacheKey>::iterator lru; // position in lru_
     };
 
     void check_config(const apps::TypeConfig& config) const;
@@ -146,25 +225,36 @@ private:
     [[nodiscard]] std::unique_ptr<apps::App> acquire_clone();
     void release_clone(std::unique_ptr<apps::App> clone);
 
-    /// Cached output for `key`, or null on a miss. The pointee is stable
-    /// (map nodes are only destroyed by clear_cache, which must not race
-    /// with evaluations), so callers may read it after the lock drops.
-    [[nodiscard]] const std::vector<double>* find_output(const TrialKey& key);
+    /// Memoized lookup with single-flight execution: returns the cached
+    /// value, waits on a concurrent execution of the same key, or runs
+    /// `key` itself (one untraced run for Output keys, one traced run +
+    /// platform simulation for Report keys). Counts kernel_runs /
+    /// cache_hits exactly once per call.
+    CacheValue obtain(const CacheKey& key);
 
-    /// Executes the kernel (one untraced run) and memoizes the output.
-    std::vector<double> run_output(const TrialKey& key);
+    /// Executes `key`'s kernel run on a pooled clone. For Report keys the
+    /// produced output is returned too, so it can seed the output cache.
+    [[nodiscard]] CacheValue execute(const CacheKey& key);
+
+    /// Inserts `value` for `key` (if absent), charges its bytes, and
+    /// evicts LRU entries past the budget. Returns entries evicted.
+    std::size_t publish(const CacheKey& key, const CacheValue& value);
 
     std::unique_ptr<apps::App> master_; // immutable after construction
     bool memoize_ = true;
+    std::size_t cache_budget_bytes_ = 0;
     std::unique_ptr<util::ThreadPool> pool_;
 
     std::mutex clones_mutex_;
     std::vector<std::unique_ptr<apps::App>> clones_;
 
-    std::mutex cache_mutex_;
-    std::map<unsigned, std::vector<double>> goldens_;
-    std::unordered_map<TrialKey, std::vector<double>, TrialKeyHash> outputs_;
-    std::unordered_map<TrialKey, sim::RunReport, TrialKeyHash> reports_;
+    mutable std::mutex cache_mutex_;
+    std::map<unsigned, std::vector<double>> goldens_; // pinned, node-stable
+    std::map<unsigned, std::shared_ptr<Flight>> golden_flights_;
+    std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+    std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_;
+    std::list<CacheKey> lru_; // front = most recently used
+    std::size_t cache_bytes_ = 0;
 
     mutable std::mutex stats_mutex_;
     EvalStats stats_;

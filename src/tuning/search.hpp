@@ -37,13 +37,18 @@
 //   * cache state — kernels are pure in (input_set, config), so a cache
 //     hit returns exactly what the re-run would. A cold cache, a cache
 //     warmed by any previous search (e.g. an earlier distributed_search
-//     on the same engine, or the base search inside cast_aware), and a
+//     on the same engine, or the base search inside cast_aware), a cache
+//     partially evicted by the engine's LRU memory budget (an eviction
+//     only costs a re-run, which reproduces the evicted bytes), and a
 //     disabled cache all yield the same TuningResult. program_runs counts
 //     trials SUBMITTED — it equals the pre-memoization engine's count
 //     bit-for-bit; the executions the cache eliminated are visible in
-//     EvalEngine::stats() (kernel_runs vs cache_hits). The greedy
+//     EvalEngine::stats() (kernel_runs vs cache_hits, exact at any
+//     thread count thanks to single-flight execution). The greedy
 //     fixpoint pass and the probe-confirmation trials of repeated binary
-//     searches are the main hit sources inside one search.
+//     searches are the main hit sources inside one search; overlapping
+//     requests on a shared long-lived engine (tuning/service.hpp) hit
+//     across searches.
 #pragma once
 
 #include <array>

@@ -1,0 +1,79 @@
+#include "tuning/service.hpp"
+
+#include <utility>
+
+#include "apps/app.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tp::tuning {
+
+TuningService::TuningService() : TuningService(Options{}) {}
+
+TuningService::TuningService(const Options& options) : options_(options) {
+    if (options.threads > 1) {
+        pool_ = std::make_unique<util::ThreadPool>(options.threads);
+    }
+}
+
+// Batch workers reference the engines; the pool must drain first (same
+// ordering argument as EvalEngine's destructor).
+TuningService::~TuningService() { pool_.reset(); }
+
+EvalEngine& TuningService::engine(std::string_view app_name) {
+    const std::lock_guard<std::mutex> lock{engines_mutex_};
+    const auto it = engines_.find(app_name);
+    if (it != engines_.end()) return *it->second;
+    // Engines are pool-less (threads = 1): a search task evaluates its
+    // trials inline on its batch worker, so no worker ever blocks on a
+    // queued task. Cross-request concurrency on the shared caches is
+    // handled by the engine's own locking and single-flight execution.
+    const std::unique_ptr<apps::App> prototype = apps::make_app(app_name);
+    auto created = std::make_unique<EvalEngine>(
+        *prototype,
+        EvalEngine::Options{.threads = 1,
+                            .memoize = options_.memoize,
+                            .cache_budget_bytes = options_.cache_budget_bytes});
+    return *engines_.emplace(std::string(app_name), std::move(created))
+                .first->second;
+}
+
+std::size_t TuningService::engine_count() const {
+    const std::lock_guard<std::mutex> lock{engines_mutex_};
+    return engines_.size();
+}
+
+EvalStats TuningService::stats() const {
+    const std::lock_guard<std::mutex> lock{engines_mutex_};
+    EvalStats total;
+    for (const auto& [name, engine] : engines_) total += engine->stats();
+    return total;
+}
+
+TuningBatchResult TuningService::run(const std::vector<TuningRequest>& batch) {
+    // Resolve engines up front, serially, in request order: creation is
+    // deterministic, and an unknown app rejects the batch before any
+    // search runs.
+    std::vector<EvalEngine*> engines;
+    engines.reserve(batch.size());
+    for (const TuningRequest& request : batch) {
+        engines.push_back(&engine(request.app));
+    }
+
+    const EvalStats before = stats();
+    std::vector<TuningResult> results = util::indexed_map(
+        pool_.get(), batch.size(), [&batch, &engines](std::size_t i) {
+            const TuningRequest& request = batch[i];
+            SearchOptions options = request.options;
+            options.epsilon = request.epsilon;
+            options.input_sets = request.input_sets;
+            options.threads = 1; // unused: the engine has no pool
+            return distributed_search(*engines[i], options);
+        });
+
+    TuningBatchResult result;
+    result.results = std::move(results);
+    result.stats = stats() - before;
+    return result;
+}
+
+} // namespace tp::tuning

@@ -1,0 +1,109 @@
+// The bench JSON emitter (bench/json.hpp): every value it writes must be
+// valid RFC 8259 JSON — the BENCH_*.json files are consumed by tooling,
+// not eyeballed — and numbers must round-trip bit-exactly.
+#include "json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace {
+
+using tp::bench::Json;
+
+std::string field_value(std::string_view value) {
+    // {"k": <emitted>} -> <emitted>
+    const std::string doc = Json::object().field("k", value).str();
+    const auto colon = doc.find(": ");
+    return doc.substr(colon + 2, doc.rfind('\n') - colon - 2);
+}
+
+TEST(BenchJson, QuotesAndBackslashesAreEscaped) {
+    EXPECT_EQ(field_value("say \"hi\""), "\"say \\\"hi\\\"\"");
+    EXPECT_EQ(field_value("a\\b"), "\"a\\\\b\"");
+}
+
+TEST(BenchJson, CommonControlCharactersUseShortEscapes) {
+    EXPECT_EQ(field_value("line1\nline2"), "\"line1\\nline2\"");
+    EXPECT_EQ(field_value("col1\tcol2"), "\"col1\\tcol2\"");
+    EXPECT_EQ(field_value("cr\rlf"), "\"cr\\rlf\"");
+}
+
+TEST(BenchJson, RemainingControlCharactersAreUnicodeEscaped) {
+    EXPECT_EQ(field_value(std::string("a\x01z", 3)), "\"a\\u0001z\"");
+    EXPECT_EQ(field_value(std::string("a\x1fz", 3)), "\"a\\u001fz\"");
+    EXPECT_EQ(field_value(std::string("nul\0!", 5)), "\"nul\\u0000!\"");
+    EXPECT_EQ(field_value("bell\x07"), "\"bell\\u0007\"");
+}
+
+TEST(BenchJson, KeysAreEscapedToo) {
+    const std::string doc = Json::object().field("a\nb", 1).str();
+    EXPECT_NE(doc.find("\"a\\nb\": 1"), std::string::npos);
+}
+
+TEST(BenchJson, NonAsciiBytesPassThrough) {
+    // UTF-8 payloads are legal JSON unescaped.
+    EXPECT_EQ(field_value("µs"), "\"µs\"");
+}
+
+TEST(BenchJson, NonFiniteDoublesBecomeNull) {
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(field_value("x"), "\"x\""); // sanity: helper works
+    EXPECT_NE(Json::object().field("v", inf).str().find("\"v\": null"),
+              std::string::npos);
+    EXPECT_NE(Json::object().field("v", -inf).str().find("\"v\": null"),
+              std::string::npos);
+    EXPECT_NE(Json::object()
+                  .field("v", std::numeric_limits<double>::quiet_NaN())
+                  .str()
+                  .find("\"v\": null"),
+              std::string::npos);
+}
+
+TEST(BenchJson, DoublesRoundTrip) {
+    for (const double value :
+         {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324, 1.7976931348623157e308,
+          -0.0, 123456789.123456789}) {
+        const std::string doc = Json::object().field("v", value).str();
+        const auto colon = doc.find(": ");
+        const std::string emitted =
+            doc.substr(colon + 2, doc.rfind('\n') - colon - 2);
+        const double parsed = std::strtod(emitted.c_str(), nullptr);
+        EXPECT_EQ(parsed, value) << emitted;
+        // -0.0 round-trips with its sign.
+        EXPECT_EQ(std::signbit(parsed), std::signbit(value)) << emitted;
+    }
+}
+
+TEST(BenchJson, IntegerAndBoolFields) {
+    const std::string doc = Json::object()
+                                .field("n", std::size_t{18446744073709551615ULL})
+                                .field("i", -42)
+                                .field("yes", true)
+                                .field("no", false)
+                                .str();
+    EXPECT_NE(doc.find("\"n\": 18446744073709551615"), std::string::npos);
+    EXPECT_NE(doc.find("\"i\": -42"), std::string::npos);
+    EXPECT_NE(doc.find("\"yes\": true"), std::string::npos);
+    EXPECT_NE(doc.find("\"no\": false"), std::string::npos);
+}
+
+TEST(BenchJson, NestedStructureSerializes) {
+    auto inner = Json::array();
+    inner.item(1.5);
+    inner.item_raw("\"two\"");
+    const std::string doc =
+        Json::object().raw("list", inner.str(0)).field("tag", "t").str();
+    EXPECT_EQ(doc, "{\n  \"list\": [\n    1.5,\n    \"two\"\n  ],\n"
+                   "  \"tag\": \"t\"\n}");
+}
+
+TEST(BenchJson, EmptyContainers) {
+    EXPECT_EQ(Json::object().str(), "{}");
+    EXPECT_EQ(Json::array().str(), "[]");
+}
+
+} // namespace

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <latch>
+#include <thread>
+#include <vector>
+
 #include "apps/app.hpp"
 #include "apps/signal_table.hpp"
 #include "tuning/cast_aware.hpp"
@@ -221,6 +225,125 @@ TEST(EvalEngine, ClearCacheForcesRerunsButKeepsGoldens) {
     EXPECT_EQ(engine.stats().golden_runs, 1u);
 }
 
+// --- Single-flight execution -------------------------------------------------
+
+// Concurrent first requests for one key execute the kernel exactly once:
+// the counters are exact, not approximate, at any thread count. (Before
+// single-flight both racers executed and kernel_runs was inflated.)
+TEST(EvalEngine, ConcurrentFirstRequestsSingleFlight) {
+    const auto app = tp::apps::make_app("dwt");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    const TypeConfig config = app->uniform_config(tp::kBinary16);
+
+    constexpr unsigned kCallers = 8;
+    const auto expected = engine.output(5, config); // a warm sibling key
+    std::latch start{kCallers};
+    std::vector<std::thread> callers;
+    std::vector<std::vector<double>> outputs(kCallers);
+    for (unsigned i = 0; i < kCallers; ++i) {
+        callers.emplace_back([&engine, &config, &start, &outputs, i] {
+            start.arrive_and_wait(); // maximize the overlap window
+            outputs[i] = engine.output(0, config);
+        });
+    }
+    for (std::thread& caller : callers) caller.join();
+
+    for (const auto& out : outputs) EXPECT_EQ(out, outputs[0]);
+    EXPECT_NE(outputs[0], expected); // different input set, different data
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.trials, kCallers + 1);
+    EXPECT_EQ(stats.kernel_runs, 2u); // input set 5, then exactly one for 0
+    EXPECT_EQ(stats.cache_hits, kCallers - 1);
+}
+
+TEST(EvalEngine, ConcurrentGoldenRequestsComputeOnce) {
+    const auto app = tp::apps::make_app("conv");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    constexpr unsigned kCallers = 8;
+    std::latch start{kCallers};
+    std::vector<std::thread> callers;
+    std::vector<const std::vector<double>*> goldens(kCallers);
+    for (unsigned i = 0; i < kCallers; ++i) {
+        callers.emplace_back([&engine, &start, &goldens, i] {
+            start.arrive_and_wait();
+            goldens[i] = &engine.golden(2);
+        });
+    }
+    for (std::thread& caller : callers) caller.join();
+    for (const auto* golden : goldens) EXPECT_EQ(golden, goldens[0]);
+    EXPECT_EQ(engine.stats().golden_runs, 1u);
+}
+
+// --- LRU memory budget -------------------------------------------------------
+
+TEST(EvalEngine, MemoryBudgetBoundsTheCache) {
+    const auto app = tp::apps::make_app("knn");
+    constexpr std::size_t kBudget = 4 * 1024;
+    EvalEngine engine{*app, EvalEngine::Options{.threads = 1,
+                                                .memoize = true,
+                                                .cache_budget_bytes = kBudget}};
+    // Many distinct configs: more payload than the budget can hold.
+    std::vector<TypeConfig> configs;
+    for (std::uint8_t mant = 1; mant <= 23; ++mant) {
+        configs.push_back(app->uniform_config(tp::FpFormat{8, mant}));
+        configs.push_back(app->uniform_config(tp::FpFormat{5, std::min<std::uint8_t>(mant, 10)}));
+    }
+    std::vector<std::vector<double>> first;
+    for (const TypeConfig& config : configs) {
+        first.push_back(engine.output(0, config));
+        EXPECT_LE(engine.cache_bytes(), kBudget);
+    }
+    const auto churned = engine.stats();
+    EXPECT_GT(churned.evictions, 0u);
+    EXPECT_GT(engine.cache_bytes(), 0u); // bounded, not empty
+
+    // Evicted trials re-run to identical bytes (the determinism contract
+    // extended to eviction state).
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(engine.output(0, configs[i]), first[i]) << i;
+    }
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.trials, stats.kernel_runs + stats.cache_hits);
+}
+
+TEST(EvalEngine, UnboundedBudgetNeverEvicts) {
+    const auto app = tp::apps::make_app("knn");
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    for (std::uint8_t mant = 1; mant <= 23; ++mant) {
+        (void)engine.output(0, app->uniform_config(tp::FpFormat{8, mant}));
+    }
+    EXPECT_EQ(engine.stats().evictions, 0u);
+    EXPECT_GT(engine.cache_bytes(), 0u);
+}
+
+TEST(EvalEngine, LeastRecentlyUsedEntryIsEvictedFirst) {
+    const auto app = tp::apps::make_app("knn");
+    // Budget sized to hold a few entries: touch A constantly while
+    // inserting B, C, D... — A must survive longer than untouched peers.
+    EvalEngine probe{*app, EvalEngine::Options{}};
+    const TypeConfig a = app->uniform_config(tp::kBinary16);
+    (void)probe.output(0, a);
+    const std::size_t one_entry = probe.cache_bytes();
+    ASSERT_GT(one_entry, 0u);
+
+    EvalEngine engine{*app,
+                      EvalEngine::Options{.threads = 1,
+                                          .memoize = true,
+                                          .cache_budget_bytes = 3 * one_entry}};
+    (void)engine.output(0, a); // A resident
+    for (std::uint8_t mant = 1; mant <= 8; ++mant) {
+        (void)engine.output(0, app->uniform_config(tp::FpFormat{8, mant}));
+        (void)engine.output(0, a); // touch A: most recently used again
+    }
+    const auto stats = engine.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    // A was never evicted: its 9 requests were 1 run + 8 hits.
+    const std::size_t runs_before = stats.kernel_runs;
+    (void)engine.output(0, a);
+    EXPECT_EQ(engine.stats().kernel_runs, runs_before);
+}
+
 // --- Cache-coherent determinism contract ------------------------------------
 
 SearchOptions fast_options() {
@@ -276,6 +399,11 @@ void expect_cache_coherent(const std::string& app_name) {
     const TuningResult threaded_warm = distributed_search(parallel, options);
     expect_identical(cold, threaded_cold, app_name + ": threads=4 cold");
     expect_identical(cold, threaded_warm, app_name + ": threads=4 warm");
+
+    // Counters are EXACT at any thread count (single-flight execution):
+    // the pooled engine ran the same two searches as the serial one, so
+    // every counter — not just the results — must match bit-for-bit.
+    EXPECT_EQ(parallel.stats(), cached.stats()) << app_name;
 }
 
 TEST(EvalEngine, CacheCoherentDeterminismPca) { expect_cache_coherent("pca"); }

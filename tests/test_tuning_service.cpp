@@ -1,0 +1,214 @@
+// TuningService (tuning/service.hpp): batched searches on long-lived
+// per-app EvalEngines. The contract under test: results are bit-identical
+// for any service thread count and any cache/eviction state, EvalStats
+// counters are exact at any thread count (single-flight), the LRU budget
+// is respected, and goldens survive eviction.
+#include "tuning/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "tuning/eval_engine.hpp"
+#include "tuning/search.hpp"
+
+namespace {
+
+using tp::tuning::distributed_search;
+using tp::tuning::EvalEngine;
+using tp::tuning::EvalStats;
+using tp::tuning::SearchOptions;
+using tp::tuning::TuningBatchResult;
+using tp::tuning::TuningRequest;
+using tp::tuning::TuningResult;
+using tp::tuning::TuningService;
+
+SearchOptions fast_options() {
+    SearchOptions options;
+    options.type_system = tp::TypeSystem{tp::TypeSystemKind::V2};
+    options.max_passes = 2;
+    return options;
+}
+
+TuningRequest request_for(std::string app, double epsilon) {
+    TuningRequest request;
+    request.app = std::move(app);
+    request.epsilon = epsilon;
+    request.input_sets = {0, 1};
+    request.options = fast_options();
+    return request;
+}
+
+/// The overlapping batch the service exists for: two apps, the paper's
+/// three requirements each, plus one exact repeat per app.
+std::vector<TuningRequest> overlapping_batch() {
+    std::vector<TuningRequest> batch;
+    for (const char* app : {"pca", "dwt"}) {
+        for (const double epsilon : {1e-3, 1e-2, 1e-1}) {
+            batch.push_back(request_for(app, epsilon));
+        }
+        batch.push_back(request_for(app, 1e-2)); // repeat
+    }
+    return batch;
+}
+
+void expect_identical_batches(const TuningBatchResult& a,
+                              const TuningBatchResult& b,
+                              const std::string& label) {
+    ASSERT_EQ(a.results.size(), b.results.size()) << label;
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_TRUE(a.results[i] == b.results[i])
+            << label << ": request " << i;
+    }
+}
+
+TEST(TuningService, MatchesDirectSearch) {
+    TuningService service;
+    const auto batch_result = service.run({request_for("pca", 1e-2)});
+    ASSERT_EQ(batch_result.results.size(), 1u);
+
+    const auto app = tp::apps::make_app("pca");
+    SearchOptions options = fast_options();
+    options.epsilon = 1e-2;
+    options.input_sets = {0, 1};
+    const TuningResult direct = distributed_search(*app, options);
+    EXPECT_TRUE(batch_result.results[0] == direct);
+}
+
+TEST(TuningService, ResultsInRequestOrderOneEnginePerApp) {
+    TuningService service;
+    const auto batch = std::vector<TuningRequest>{request_for("dwt", 1e-1),
+                                                  request_for("pca", 1e-2),
+                                                  request_for("dwt", 1e-1)};
+    const auto result = service.run(batch);
+    ASSERT_EQ(result.results.size(), 3u);
+    // Identical requests produce identical results; distinct apps don't.
+    EXPECT_TRUE(result.results[0] == result.results[2]);
+    EXPECT_FALSE(result.results[0] == result.results[1]);
+    EXPECT_EQ(result.results[1].epsilon, 1e-2);
+    // dwt and pca each got one long-lived engine.
+    EXPECT_EQ(service.engine_count(), 2u);
+    EXPECT_EQ(&service.engine("dwt"), &service.engine("dwt"));
+}
+
+TEST(TuningService, UnknownAppRejectsBatchBeforeScheduling) {
+    TuningService service;
+    EXPECT_THROW((void)service.run({request_for("pca", 1e-2),
+                                    request_for("nonesuch", 1e-2)}),
+                 std::out_of_range);
+    // The pca engine may exist (requests resolve in order), but no search
+    // ran: the failing batch submitted no trials.
+    EXPECT_EQ(service.stats().trials, 0u);
+}
+
+// The exactness half of the single-flight contract: the same overlapping
+// batch, serial vs four workers, must produce identical results AND
+// identical counters — concurrent first requests for the same key execute
+// once, so threads=4 cannot inflate kernel_runs (the pre-single-flight
+// engine double-counted here).
+TEST(TuningService, ThreadCountInvariantResultsAndExactCounters) {
+    TuningService serial{TuningService::Options{.threads = 1}};
+    TuningService threaded{TuningService::Options{.threads = 4}};
+    const auto batch = overlapping_batch();
+
+    const auto serial_result = serial.run(batch);
+    const auto threaded_result = threaded.run(batch);
+    expect_identical_batches(serial_result, threaded_result,
+                             "threads=4 vs serial");
+
+    const EvalStats s = serial_result.stats;
+    const EvalStats t = threaded_result.stats;
+    EXPECT_EQ(t.trials, s.trials);
+    EXPECT_EQ(t.kernel_runs, s.kernel_runs);
+    EXPECT_EQ(t.cache_hits, s.cache_hits);
+    EXPECT_EQ(t.golden_runs, s.golden_runs);
+    EXPECT_EQ(t, s);
+    // The invariant the counters promise.
+    EXPECT_EQ(t.trials, t.kernel_runs + t.cache_hits);
+    // The batch overlaps, so the cache must have eliminated work.
+    EXPECT_GT(t.cache_hits, 0u);
+    EXPECT_GT(t.hit_rate(), 0.0);
+}
+
+TEST(TuningService, WarmServiceServesRepeatBatchFromCache) {
+    TuningService service{TuningService::Options{.threads = 4}};
+    const auto batch = overlapping_batch();
+    const auto cold = service.run(batch);
+    const auto warm = service.run(batch);
+    expect_identical_batches(cold, warm, "warm vs cold batch");
+    // Every trial of the repeat batch was a hit: no kernel ran.
+    EXPECT_EQ(warm.stats.kernel_runs, 0u);
+    EXPECT_EQ(warm.stats.golden_runs, 0u);
+    EXPECT_EQ(warm.stats.cache_hits, warm.stats.trials);
+    EXPECT_EQ(warm.hit_rate(), 1.0);
+    // Lifetime aggregate covers both batches.
+    EXPECT_EQ(service.stats().trials, cold.stats.trials + warm.stats.trials);
+}
+
+// The eviction half of the determinism contract: cold, warm, and
+// constantly-evicting caches return bit-identical batches; eviction only
+// costs kernel re-runs.
+TEST(TuningService, EvictingCacheReturnsIdenticalResults) {
+    const auto batch = overlapping_batch();
+
+    TuningService unbounded{TuningService::Options{.threads = 4}};
+    const auto cold = unbounded.run(batch);
+    const auto warm = unbounded.run(batch);
+
+    // A budget far too small for these workloads: entries churn the whole
+    // time.
+    TuningService evicting{TuningService::Options{
+        .threads = 4, .cache_budget_bytes = 16 * 1024}};
+    const auto evicted = evicting.run(batch);
+
+    expect_identical_batches(cold, evicted, "evicting vs cold");
+    expect_identical_batches(warm, evicted, "evicting vs warm");
+
+    EXPECT_GT(evicted.stats.evictions, 0u);
+    // Eviction forces re-runs the unbounded cache avoided.
+    EXPECT_GT(evicted.stats.kernel_runs, cold.stats.kernel_runs);
+    // Same trials were submitted either way; the invariant still holds.
+    EXPECT_EQ(evicted.stats.trials, cold.stats.trials);
+    EXPECT_EQ(evicted.stats.trials,
+              evicted.stats.kernel_runs + evicted.stats.cache_hits);
+}
+
+TEST(TuningService, MemoryBudgetIsRespected) {
+    constexpr std::size_t kBudget = 16 * 1024;
+    TuningService service{
+        TuningService::Options{.threads = 2, .cache_budget_bytes = kBudget}};
+    (void)service.run(overlapping_batch());
+    for (const char* app : {"pca", "dwt"}) {
+        EXPECT_LE(service.engine(app).cache_bytes(), kBudget) << app;
+    }
+}
+
+TEST(TuningService, GoldensSurviveEviction) {
+    TuningService service{
+        TuningService::Options{.threads = 2, .cache_budget_bytes = 16 * 1024}};
+    EvalEngine& engine = service.engine("pca");
+    const std::vector<double>& before = engine.golden(0);
+    (void)service.run(overlapping_batch());
+    EXPECT_GT(engine.stats().evictions, 0u);
+    // Same pinned storage, no recomputation: the reference the service
+    // handed out before the churn is still the live golden.
+    EXPECT_EQ(&engine.golden(0), &before);
+    const auto app = tp::apps::make_app("pca");
+    EXPECT_EQ(before, app->golden(0));
+}
+
+TEST(TuningService, PerRequestOptionsAreHonored) {
+    TuningService service;
+    TuningRequest v1 = request_for("jacobi", 1e-2);
+    v1.options.type_system = tp::TypeSystem{tp::TypeSystemKind::V1};
+    const TuningRequest v2 = request_for("jacobi", 1e-2);
+    const auto result = service.run({v1, v2});
+    EXPECT_EQ(result.results[0].type_system, tp::TypeSystemKind::V1);
+    EXPECT_EQ(result.results[1].type_system, tp::TypeSystemKind::V2);
+    // One app, one engine, even across type systems.
+    EXPECT_EQ(service.engine_count(), 1u);
+}
+
+} // namespace
