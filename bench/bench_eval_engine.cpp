@@ -6,7 +6,9 @@
 // epsilon-independent by construction — it memoizes program OUTPUTS keyed
 // by (input_set, config), and the requirement is applied to the cached
 // output — so an epsilon sweep over one app on a shared engine reuses
-// every overlapping probe. This bench runs that sweep per app twice:
+// every overlapping probe. This bench runs that sweep over every
+// registered workload (the paper's six kernels plus fft / iir / mlp),
+// per app twice:
 //
 //   * shared engine, memoization on  — counts kernel runs vs cache hits;
 //   * fresh engine, memoization off  — the pre-cache reference: same
@@ -49,7 +51,7 @@ int main() {
     bool all_identical = true;
     auto apps_json = tp::bench::Json::array();
 
-    for (const char* app_name : {"jacobi", "knn", "pca", "dwt", "svm", "conv"}) {
+    for (const std::string& app_name : tp::apps::app_names()) {
         auto app = tp::apps::make_app(app_name);
 
         tp::tuning::EvalEngine cached{
@@ -88,7 +90,7 @@ int main() {
         const auto stats = cached.stats();
         all_identical = all_identical && matches;
         std::printf("%-8s %-8zu %-8zu %-8zu %-12.1f %-10.3f %-10.3f %s\n",
-                    app_name, stats.trials, stats.kernel_runs, stats.cache_hits,
+                    app_name.c_str(), stats.trials, stats.kernel_runs, stats.cache_hits,
                     100.0 * stats.hit_rate(), cached_seconds, uncached_seconds,
                     matches ? "yes" : "NO");
 

@@ -114,7 +114,7 @@ std::string cache_section(const std::string& app_name, bool& all_identical) {
     // Headline scenario: the paper's three quality requirements tuned on
     // one fresh engine — every counter below starts from a cold cache
     // (bench_eval_engine verifies this sweep's results bit-exact against
-    // the memoization-free path for all six apps).
+    // the memoization-free path for every registered app).
     tp::tuning::EvalEngine sweep_engine{
         *app, tp::tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
     const auto sweep_start = Clock::now();

@@ -3,9 +3,10 @@
 //
 // The service scenario the ROADMAP targets: bursts of (app, epsilon)
 // requests against long-lived per-app EvalEngines. This bench submits one
-// realistic burst — two apps x the paper's three quality requirements,
-// plus one exact repeat per app — and measures what the shared caches
-// eliminate:
+// realistic burst — two of the paper's kernels (pca, dwt) plus the three
+// follow-on workloads (fft, iir, mlp), each at the paper's three quality
+// requirements plus one exact repeat per app — and measures what the
+// shared caches eliminate:
 //
 //   * cold batch, 4 workers — the headline cross_request_hit_rate: the
 //     fraction of the batch's trials served from cache, counting hits
@@ -39,7 +40,7 @@ using tp::tuning::TuningService;
 
 std::vector<TuningRequest> overlapping_batch() {
     std::vector<TuningRequest> batch;
-    for (const char* app : {"pca", "dwt"}) {
+    for (const char* app : {"pca", "dwt", "fft", "iir", "mlp"}) {
         for (const double epsilon : tp::bench::kEpsilons) {
             TuningRequest request;
             request.app = app;
@@ -89,7 +90,7 @@ void print_stats(const char* label, const EvalStats& stats,
 int main() {
     const auto batch = overlapping_batch();
     std::printf("# batched tuning service — %zu overlapping requests "
-                "(pca+dwt x epsilon 1e-3/1e-2/1e-1 + repeats)\n\n",
+                "(pca+dwt+fft+iir+mlp x epsilon 1e-3/1e-2/1e-1 + repeats)\n\n",
                 batch.size());
 
     // Headline: cold overlapping batch on four workers.
@@ -142,8 +143,8 @@ int main() {
         tp::bench::Json::object()
             .field("bench", "bench_tuning_service")
             .field("scenario",
-                   "overlapping batch: pca+dwt x epsilon 1e-3/1e-2/1e-1 "
-                   "+ one repeat per app, 4 workers")
+                   "overlapping batch: pca+dwt+fft+iir+mlp x epsilon "
+                   "1e-3/1e-2/1e-1 + one repeat per app, 4 workers")
             .field("requests", batch.size())
             .field("cross_request_hit_rate", cold.stats.hit_rate())
             .field("bit_identical", results_identical)

@@ -8,6 +8,9 @@ std::unique_ptr<App> make_pca(bool manual_vectorization);
 std::unique_ptr<App> make_dwt();
 std::unique_ptr<App> make_svm();
 std::unique_ptr<App> make_conv();
+std::unique_ptr<App> make_fft();
+std::unique_ptr<App> make_iir();
+std::unique_ptr<App> make_mlp();
 
 std::vector<double> App::golden(unsigned input_set) {
     prepare(input_set);
@@ -16,8 +19,11 @@ std::vector<double> App::golden(unsigned input_set) {
 }
 
 const std::vector<std::string>& app_names() {
+    // The paper's six kernels in the paper's order, then the ROADMAP's
+    // follow-on workloads in the order they were added.
     static const std::vector<std::string> names{"jacobi", "knn", "pca",
-                                                "dwt", "svm", "conv"};
+                                                "dwt",    "svm", "conv",
+                                                "fft",    "iir", "mlp"};
     return names;
 }
 
@@ -29,6 +35,9 @@ std::unique_ptr<App> make_app(std::string_view name) {
     if (name == "dwt") return make_dwt();
     if (name == "svm") return make_svm();
     if (name == "conv") return make_conv();
+    if (name == "fft") return make_fft();
+    if (name == "iir") return make_iir();
+    if (name == "mlp") return make_mlp();
     throw std::out_of_range("unknown application: " + std::string(name));
 }
 

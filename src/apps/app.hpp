@@ -2,7 +2,9 @@
 //
 // The paper evaluates six kernels representative of near-sensor computing
 // and embedded machine learning: JACOBI, KNN, PCA, DWT, SVM and CONV
-// (Section V-A). Each application here:
+// (Section V-A). The registry has since grown the ROADMAP's follow-on
+// workloads — FFT, IIR and MLP — through the same seam. Each application
+// here:
 //
 //   * declares its tunable variable groups ("signals" — program variables
 //     or arrays whose FP format the tuning tool controls) as a SignalTable
@@ -128,13 +130,14 @@ private:
     std::shared_ptr<const SignalTable> table_;
 };
 
-/// Names of all six applications, in the paper's order.
+/// Names of all registered applications: the paper's six kernels in the
+/// paper's order, then the follow-on workloads (fft, iir, mlp).
 [[nodiscard]] const std::vector<std::string>& app_names();
 
 /// Factory; throws std::out_of_range for unknown names.
 [[nodiscard]] std::unique_ptr<App> make_app(std::string_view name);
 
-/// All six applications.
+/// All registered applications, in app_names() order.
 [[nodiscard]] std::vector<std::unique_ptr<App>> make_all_apps();
 
 /// Casts `v` to `format` unless it already has it (emitting the cast

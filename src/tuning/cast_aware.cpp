@@ -57,6 +57,14 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
     // probes hit the trial cache the base search populated.
     EvalEngine engine{app, EvalEngine::Options{.threads = options.search.threads,
                                                .memoize = true}};
+    return cast_aware_search(engine, options);
+}
+
+CastAwareResult cast_aware_search(EvalEngine& engine,
+                                  const CastAwareOptions& options) {
+    // On a shared long-lived engine (tuning/service.hpp) the counters
+    // include other requests' work; report only this call's delta.
+    const EvalStats stats_before = engine.stats();
 
     CastAwareResult result;
     result.base = distributed_search(engine, options.search);
@@ -126,7 +134,7 @@ CastAwareResult cast_aware_search(apps::App& app, const CastAwareOptions& option
     result.config = current;
     result.tuned_energy_pj = current_cost.energy_pj;
     result.tuned_casts = platform_cost(engine, current, options).casts;
-    result.eval_stats = engine.stats();
+    result.eval_stats = engine.stats() - stats_before;
     return result;
 }
 

@@ -39,12 +39,29 @@ struct CastAwareResult {
     std::uint64_t base_casts = 0;
     std::uint64_t tuned_casts = 0;
     int moves_accepted = 0;
-    EvalStats eval_stats;          // trial-cache counters of the shared engine
+    /// Trial-cache counter delta of the engine over this call (on a
+    /// private engine that equals the engine's lifetime stats). On a
+    /// shared long-lived engine it excludes everything that ran before
+    /// the call; work OTHER threads push onto the same engine during the
+    /// call interleaves into it (the TuningService batch-stats caveat).
+    EvalStats eval_stats;
 };
 
-/// Runs DistributedSearch, then the cast-aware refinement. Both phases
-/// share one EvalEngine (pool, clones, memoized trials).
+/// Runs DistributedSearch, then the cast-aware refinement, on a private
+/// EvalEngine shared by both phases (pool, clones, memoized trials).
 [[nodiscard]] CastAwareResult cast_aware_search(apps::App& app,
+                                                const CastAwareOptions& options);
+
+/// Same two-phase search, submitting every trial and platform-cost probe
+/// through a caller-owned engine — e.g. a TuningService's long-lived
+/// per-app engine (TuningService::cast_aware), so cast-aware requests
+/// share the service caches: the base search hits configs earlier batches
+/// probed, and the refinement's quality checks hit the base search's
+/// trials. options.search.threads is ignored; the engine's pool (or its
+/// serial path) is used. By the engine's cache-coherent determinism
+/// contract the result is bit-identical to the private-engine overload
+/// for any cache state and thread count.
+[[nodiscard]] CastAwareResult cast_aware_search(EvalEngine& engine,
                                                 const CastAwareOptions& options);
 
 } // namespace tp::tuning

@@ -37,6 +37,11 @@ EvalEngine& TuningService::engine(std::string_view app_name) {
                 .first->second;
 }
 
+CastAwareResult TuningService::cast_aware(std::string_view app_name,
+                                          const CastAwareOptions& options) {
+    return cast_aware_search(engine(app_name), options);
+}
+
 std::size_t TuningService::engine_count() const {
     const std::lock_guard<std::mutex> lock{engines_mutex_};
     return engines_.size();

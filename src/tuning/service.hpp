@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "tuning/cast_aware.hpp"
 #include "tuning/eval_engine.hpp"
 #include "tuning/search.hpp"
 
@@ -90,6 +91,18 @@ public:
     /// that concurrent batches share engines, so TuningBatchResult::stats
     /// then includes the interleaved work of both.
     TuningBatchResult run(const std::vector<TuningRequest>& batch);
+
+    /// Cast-aware search (tuning/cast_aware.hpp) through `app_name`'s
+    /// long-lived service engine: the base search reuses configs earlier
+    /// batches probed, and subsequent batched requests for the app reuse
+    /// the probes this pass ran — the caches are shared both ways.
+    /// `options.search.threads` is ignored (the engine is pool-less; the
+    /// pass runs inline on the calling thread). The returned eval_stats is
+    /// the engine's counter delta over the call. Safe to call concurrently
+    /// with run(); as with run()'s batch stats, concurrent work on the
+    /// same app's engine then interleaves into that delta.
+    CastAwareResult cast_aware(std::string_view app_name,
+                               const CastAwareOptions& options);
 
     /// The long-lived engine serving `app_name`, created on first use
     /// (throws std::out_of_range for unknown names). Exposed for

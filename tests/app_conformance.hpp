@@ -1,0 +1,325 @@
+// App-conformance battery: the shared, parameterized test suite every
+// registered apps::App must pass.
+//
+// Before this harness each app-facing property lived as a hand-copied
+// check in test_apps.cpp (kernel behaviour) or test_eval_engine.cpp
+// (engine determinism, run only for pca and dwt). Registering a new app
+// meant remembering to extend both files. Now the whole battery is
+// parameterized over the app name: include this header from a test binary
+// and instantiate with TP_INSTANTIATE_APP_CONFORMANCE — every app listed
+// gets, for free,
+//
+//   * kernel conformance — well-formed signal declarations, deterministic
+//     golden outputs that differ across input sets, a near-exact binary32
+//     baseline, traced/untraced agreement, a simulatable trace, no FP->FP
+//     casts under a uniform binding, and graceful degradation at the
+//     narrowest formats;
+//   * clone independence — a clone shares the immutable SignalTable but
+//     carries its own workload, so re-preparing one never disturbs the
+//     other (what the engine's worker-private clone pool relies on);
+//   * engine conformance — config-size validation, golden caching, and
+//     the cache-coherent determinism contract (tuning/search.hpp): cold,
+//     warm, memoization-disabled, and threads=4 searches return
+//     bit-identical TuningResults with exact EvalStats counters.
+//
+// The battery is a header (not a library) because gtest's TEST_P
+// registration must live in the binary that instantiates it; each test
+// executable includes it at most once.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "sim/platform.hpp"
+#include "tuning/eval_engine.hpp"
+#include "tuning/quality.hpp"
+#include "tuning/search.hpp"
+
+namespace tp::testing {
+
+/// Search options small enough to run the full determinism battery over
+/// every registered app in one test binary: two input sets, two greedy
+/// passes, the paper's V2 type system.
+[[nodiscard]] inline tuning::SearchOptions conformance_search_options() {
+    tuning::SearchOptions options;
+    options.epsilon = 1e-2;
+    options.type_system = TypeSystem{TypeSystemKind::V2};
+    options.input_sets = {0, 1};
+    options.max_passes = 2;
+    return options;
+}
+
+/// Memberwise TuningResult equality with per-field messages first, so a
+/// regression names the diverging signal instead of "a != b".
+inline void expect_identical_results(const tuning::TuningResult& a,
+                                     const tuning::TuningResult& b,
+                                     const std::string& label) {
+    EXPECT_EQ(a.program_runs, b.program_runs) << label;
+    ASSERT_EQ(a.signals.size(), b.signals.size()) << label;
+    for (std::size_t i = 0; i < a.signals.size(); ++i) {
+        EXPECT_EQ(a.signals[i].name, b.signals[i].name) << label;
+        EXPECT_EQ(a.signals[i].precision_bits, b.signals[i].precision_bits)
+            << label << " signal " << a.signals[i].name;
+        EXPECT_EQ(a.signals[i].bound, b.signals[i].bound)
+            << label << " signal " << a.signals[i].name;
+    }
+    // The full memberwise predicate covers fields added later.
+    EXPECT_TRUE(a == b) << label;
+}
+
+class AppConformanceTest : public ::testing::TestWithParam<std::string> {
+protected:
+    [[nodiscard]] static std::unique_ptr<apps::App> app() {
+        return apps::make_app(GetParam());
+    }
+};
+
+// --- kernel conformance ------------------------------------------------------
+
+TEST_P(AppConformanceTest, SignalsAreWellFormed) {
+    const auto app = this->app();
+    const auto& signals = app->signals();
+    EXPECT_GE(signals.size(), 3u);
+    std::set<std::string> names;
+    for (const auto& spec : signals) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GE(spec.elements, 1u);
+        EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    }
+}
+
+TEST_P(AppConformanceTest, SignalTableMatchesDeclarations) {
+    const auto app = this->app();
+    const apps::SignalTable& table = app->signal_table();
+    const auto& specs = app->signals();
+    ASSERT_EQ(table.size(), specs.size());
+    for (apps::SignalId id = 0; id < specs.size(); ++id) {
+        EXPECT_EQ(table.id(specs[id].name), id);
+        EXPECT_EQ(table.name(id), specs[id].name);
+    }
+    EXPECT_EQ(app->uniform_config(kBinary32).size(), table.size());
+}
+
+TEST_P(AppConformanceTest, GoldenIsDeterministic) {
+    const auto app = this->app();
+    const auto out1 = app->golden(0);
+    const auto out2 = app->golden(0);
+    ASSERT_EQ(out1.size(), out2.size());
+    for (std::size_t i = 0; i < out1.size(); ++i) {
+        EXPECT_EQ(out1[i], out2[i]) << i;
+    }
+    EXPECT_GE(out1.size(), 8u); // enough samples for a stable SQNR
+}
+
+TEST_P(AppConformanceTest, InputSetsDiffer) {
+    const auto app = this->app();
+    const auto out0 = app->golden(0);
+    const auto out1 = app->golden(1);
+    ASSERT_EQ(out0.size(), out1.size());
+    bool any_different = false;
+    for (std::size_t i = 0; i < out0.size(); ++i) {
+        any_different = any_different || out0[i] != out1[i];
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST_P(AppConformanceTest, OutputsAreFinite) {
+    const auto app = this->app();
+    for (unsigned set = 0; set < 3; ++set) {
+        for (const double v : app->golden(set)) {
+            EXPECT_TRUE(std::isfinite(v));
+        }
+    }
+}
+
+TEST_P(AppConformanceTest, Binary32RunIsCloseToGolden) {
+    const auto app = this->app();
+    const auto golden = app->golden(0);
+    app->prepare(0);
+    sim::TpContext ctx{sim::TpContext::Config{.trace = false}};
+    const auto out = app->run(ctx, app->uniform_config(kBinary32));
+    ASSERT_EQ(out.size(), golden.size());
+    EXPECT_LE(tuning::output_error(golden, out), 1e-3)
+        << "binary32 should be a near-exact baseline";
+}
+
+TEST_P(AppConformanceTest, TracedAndUntracedRunsAgree) {
+    const auto app = this->app();
+    app->prepare(0);
+    sim::TpContext traced;
+    const auto out_traced = app->run(traced, app->uniform_config(kBinary32));
+    app->prepare(0);
+    sim::TpContext untraced{sim::TpContext::Config{.trace = false}};
+    const auto out_untraced = app->run(untraced, app->uniform_config(kBinary32));
+    ASSERT_EQ(out_traced.size(), out_untraced.size());
+    for (std::size_t i = 0; i < out_traced.size(); ++i) {
+        EXPECT_EQ(out_traced[i], out_untraced[i]) << i;
+    }
+    EXPECT_FALSE(traced.take_program(false).instrs.empty());
+}
+
+TEST_P(AppConformanceTest, TraceSimulates) {
+    const auto app = this->app();
+    app->prepare(0);
+    sim::TpContext ctx;
+    (void)app->run(ctx, app->uniform_config(kBinary32));
+    const auto report = sim::simulate(ctx.take_program(true));
+    EXPECT_GT(report.cycles, 0u);
+    EXPECT_GT(report.fp_ops + report.fp_simd_lane_ops, 0u);
+    EXPECT_GT(report.mem_accesses, 0u);
+    EXPECT_GT(report.energy.total(), 0.0);
+}
+
+TEST_P(AppConformanceTest, UniformBinary32HasNoCasts) {
+    const auto app = this->app();
+    app->prepare(0);
+    sim::TpContext ctx;
+    (void)app->run(ctx, app->uniform_config(kBinary32));
+    std::uint64_t fp_casts = 0;
+    for (const auto& instr : ctx.take_program(false).instrs) {
+        if (instr.kind == sim::InstrKind::FpCast && instr.op != FpOp::FromInt &&
+            instr.op != FpOp::ToInt && !(instr.fmt == instr.fmt2)) {
+            ++fp_casts;
+        }
+    }
+    EXPECT_EQ(fp_casts, 0u);
+}
+
+TEST_P(AppConformanceTest, NarrowFormatsDegradeGracefully) {
+    // The narrowest member format may be arbitrarily inaccurate but must
+    // not crash, and the wide-range binary16alt run must not saturate to
+    // infinity (its dynamic range equals binary32's).
+    const auto app = this->app();
+    const auto golden = app->golden(0);
+    app->prepare(0);
+    sim::TpContext ctx8{sim::TpContext::Config{.trace = false}};
+    const auto out8 = app->run(ctx8, app->uniform_config(kBinary8));
+    EXPECT_EQ(out8.size(), golden.size());
+    app->prepare(0);
+    sim::TpContext ctx_alt{sim::TpContext::Config{.trace = false}};
+    const auto out_alt = app->run(ctx_alt, app->uniform_config(kBinary16Alt));
+    ASSERT_EQ(out_alt.size(), golden.size());
+    for (const double v : out_alt) EXPECT_TRUE(std::isfinite(v));
+}
+
+// --- clone independence ------------------------------------------------------
+
+TEST_P(AppConformanceTest, CloneSharesTableButNotWorkload) {
+    const auto app = this->app();
+    app->prepare(0);
+    const auto clone = app->clone();
+    EXPECT_EQ(app->name(), clone->name());
+    // One immutable table instance serves the app and every clone.
+    EXPECT_EQ(&app->signal_table(), &clone->signal_table());
+
+    // The clone carries the prepared workload...
+    const auto config = app->uniform_config(kBinary32);
+    sim::TpContext c1{sim::TpContext::Config{.trace = false}};
+    const auto original = app->run(c1, config);
+    sim::TpContext c2{sim::TpContext::Config{.trace = false}};
+    const auto copied = clone->run(c2, config);
+    EXPECT_EQ(original, copied);
+
+    // ...but re-preparing it never disturbs the original (the property the
+    // engine's worker-private clone pool relies on).
+    clone->prepare(1);
+    sim::TpContext c3{sim::TpContext::Config{.trace = false}};
+    EXPECT_EQ(app->run(c3, config), original);
+    sim::TpContext c4{sim::TpContext::Config{.trace = false}};
+    const auto reprepared = clone->run(c4, config);
+    EXPECT_NE(reprepared, original);
+    app->prepare(1);
+    sim::TpContext c5{sim::TpContext::Config{.trace = false}};
+    EXPECT_EQ(app->run(c5, config), reprepared);
+}
+
+// --- engine conformance ------------------------------------------------------
+
+TEST_P(AppConformanceTest, EngineValidatesConfigSize) {
+    const auto app = this->app();
+    tuning::EvalEngine engine{*app, tuning::EvalEngine::Options{}};
+    EXPECT_THROW((void)engine.output(0, apps::TypeConfig{}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)engine.meets(
+                     0, apps::TypeConfig{app->signals().size() + 1, kBinary32},
+                     1e-1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)engine.report(0, apps::TypeConfig{1}, false),
+                 std::invalid_argument);
+    // Rejected configs leave the counters untouched.
+    EXPECT_EQ(engine.stats(), tuning::EvalStats{});
+    EXPECT_NO_THROW((void)engine.output(0, app->uniform_config(kBinary32)));
+}
+
+TEST_P(AppConformanceTest, EngineGoldenMatchesAppGoldenAndIsPinned) {
+    const auto app = this->app();
+    tuning::EvalEngine engine{*app, tuning::EvalEngine::Options{}};
+    const auto expected = apps::make_app(GetParam())->golden(1);
+    const auto& actual = engine.golden(1);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i]) << i;
+    }
+    // The second request is a cache hit on pinned storage.
+    EXPECT_EQ(&engine.golden(1), &actual);
+    EXPECT_EQ(engine.stats().golden_runs, 1u);
+}
+
+// Cold cache, warm cache, disabled cache and the threads=4 path must all
+// yield bit-identical TuningResults, program_runs included, with exact
+// EvalStats at any thread count (the cache-coherent determinism contract,
+// tuning/search.hpp).
+TEST_P(AppConformanceTest, SearchIsCacheCoherentAndThreadCountInvariant) {
+    const auto app = this->app();
+    const auto options = conformance_search_options();
+
+    tuning::EvalEngine cached{
+        *app, tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+    const tuning::TuningResult cold = distributed_search(cached, options);
+    const std::size_t cold_runs = cached.stats().kernel_runs;
+    const tuning::TuningResult warm = distributed_search(cached, options);
+    expect_identical_results(cold, warm, GetParam() + ": warm vs cold");
+    // The warm search re-ran nothing.
+    EXPECT_EQ(cached.stats().kernel_runs, cold_runs);
+    EXPECT_GT(cached.stats().cache_hits, 0u);
+
+    tuning::EvalEngine uncached{
+        *app, tuning::EvalEngine::Options{.threads = 1, .memoize = false}};
+    const tuning::TuningResult reference = distributed_search(uncached, options);
+    expect_identical_results(cold, reference, GetParam() + ": cold vs uncached");
+    EXPECT_EQ(uncached.stats().cache_hits, 0u);
+
+    tuning::EvalEngine parallel{
+        *app, tuning::EvalEngine::Options{.threads = 4, .memoize = true}};
+    const tuning::TuningResult threaded_cold = distributed_search(parallel, options);
+    const tuning::TuningResult threaded_warm = distributed_search(parallel, options);
+    expect_identical_results(cold, threaded_cold, GetParam() + ": threads=4 cold");
+    expect_identical_results(cold, threaded_warm, GetParam() + ": threads=4 warm");
+
+    // Counters are EXACT at any thread count (single-flight execution).
+    EXPECT_EQ(parallel.stats(), cached.stats());
+}
+
+} // namespace tp::testing
+
+/// Instantiates the battery for a list of app names. `suite_prefix` keys
+/// the gtest instantiation; the name generator keeps parameters readable
+/// in ctest output ('-' is not a valid test-name character). The
+/// using-declaration is what lets INSTANTIATE_TEST_SUITE_P see the fixture
+/// from the caller's namespace (repeating it is legal).
+#define TP_INSTANTIATE_APP_CONFORMANCE(suite_prefix, ...)                      \
+    using tp::testing::AppConformanceTest;                                     \
+    INSTANTIATE_TEST_SUITE_P(                                                  \
+        suite_prefix, AppConformanceTest, __VA_ARGS__,                         \
+        [](const ::testing::TestParamInfo<std::string>& info) {                \
+            std::string name = info.param;                                     \
+            for (char& c : name) {                                             \
+                if (c == '-') c = '_';                                         \
+            }                                                                  \
+            return name;                                                       \
+        })

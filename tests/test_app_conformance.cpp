@@ -1,0 +1,17 @@
+// The shared app-conformance battery (app_conformance.hpp), instantiated
+// over every registered application plus the pca manual-vectorization
+// variant. Registering a new app in apps::app_names() automatically
+// enrolls it here — CMake labels this binary `apps` so the battery can run
+// in isolation (ctest -L apps).
+#include "app_conformance.hpp"
+
+namespace {
+
+TP_INSTANTIATE_APP_CONFORMANCE(AllApps,
+                               ::testing::ValuesIn(tp::apps::app_names()));
+
+// Factory-only variant (not in app_names()): same battery, same terms.
+TP_INSTANTIATE_APP_CONFORMANCE(Variants,
+                               ::testing::Values(std::string{"pca-manual-vec"}));
+
+} // namespace

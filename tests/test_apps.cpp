@@ -1,7 +1,13 @@
+// App registry and per-app specifics. The per-app battery every
+// application must pass (golden determinism, clone independence, engine
+// determinism, ...) lives in the shared conformance harness
+// (app_conformance.hpp), instantiated over all registered apps by
+// test_app_conformance.cpp — this file keeps only what is specific to one
+// app: which kernels vectorize, and the pca manual-vectorization variant.
 #include "apps/app.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <set>
 
 #include <gtest/gtest.h>
 
@@ -10,126 +16,12 @@
 
 namespace {
 
-using tp::apps::App;
 using tp::apps::make_app;
 using tp::sim::TpContext;
 
-class AppsTest : public ::testing::TestWithParam<std::string> {};
-
-TEST_P(AppsTest, SignalsAreWellFormed) {
-    const auto app = make_app(GetParam());
-    const auto signals = app->signals();
-    EXPECT_GE(signals.size(), 3u);
-    std::set<std::string> names;
-    for (const auto& spec : signals) {
-        EXPECT_FALSE(spec.name.empty());
-        EXPECT_GE(spec.elements, 1u);
-        EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
-    }
-}
-
-TEST_P(AppsTest, GoldenIsDeterministic) {
-    const auto app = make_app(GetParam());
-    const auto out1 = app->golden(0);
-    const auto out2 = app->golden(0);
-    ASSERT_EQ(out1.size(), out2.size());
-    for (std::size_t i = 0; i < out1.size(); ++i) {
-        EXPECT_EQ(out1[i], out2[i]) << i;
-    }
-    EXPECT_GE(out1.size(), 8u); // enough samples for a stable SQNR
-}
-
-TEST_P(AppsTest, InputSetsDiffer) {
-    const auto app = make_app(GetParam());
-    const auto out0 = app->golden(0);
-    const auto out1 = app->golden(1);
-    ASSERT_EQ(out0.size(), out1.size());
-    bool any_different = false;
-    for (std::size_t i = 0; i < out0.size(); ++i) {
-        any_different = any_different || out0[i] != out1[i];
-    }
-    EXPECT_TRUE(any_different);
-}
-
-TEST_P(AppsTest, OutputsAreFinite) {
-    const auto app = make_app(GetParam());
-    for (unsigned set = 0; set < 3; ++set) {
-        for (const double v : app->golden(set)) {
-            EXPECT_TRUE(std::isfinite(v));
-        }
-    }
-}
-
-TEST_P(AppsTest, Binary32RunIsCloseToGolden) {
-    const auto app = make_app(GetParam());
-    const auto golden = app->golden(0);
-    app->prepare(0);
-    TpContext ctx{TpContext::Config{.trace = false}};
-    const auto out = app->run(ctx, app->uniform_config(tp::kBinary32));
-    ASSERT_EQ(out.size(), golden.size());
-    EXPECT_LE(tp::tuning::output_error(golden, out), 1e-3)
-        << "binary32 should be a near-exact baseline";
-}
-
-TEST_P(AppsTest, TracedAndUntracedRunsAgree) {
-    const auto app = make_app(GetParam());
-    app->prepare(0);
-    TpContext traced;
-    const auto out_traced = app->run(traced, app->uniform_config(tp::kBinary32));
-    app->prepare(0);
-    TpContext untraced{TpContext::Config{.trace = false}};
-    const auto out_untraced = app->run(untraced, app->uniform_config(tp::kBinary32));
-    ASSERT_EQ(out_traced.size(), out_untraced.size());
-    for (std::size_t i = 0; i < out_traced.size(); ++i) {
-        EXPECT_EQ(out_traced[i], out_untraced[i]) << i;
-    }
-    EXPECT_FALSE(traced.take_program(false).instrs.empty());
-}
-
-TEST_P(AppsTest, TraceSimulates) {
-    const auto app = make_app(GetParam());
-    app->prepare(0);
-    TpContext ctx;
-    (void)app->run(ctx, app->uniform_config(tp::kBinary32));
-    const auto report = tp::sim::simulate(ctx.take_program(true));
-    EXPECT_GT(report.cycles, 0u);
-    EXPECT_GT(report.fp_ops + report.fp_simd_lane_ops, 0u);
-    EXPECT_GT(report.mem_accesses, 0u);
-    EXPECT_GT(report.energy.total(), 0.0);
-}
-
-TEST_P(AppsTest, UniformBinary32HasNoCasts) {
-    const auto app = make_app(GetParam());
-    app->prepare(0);
-    TpContext ctx;
-    (void)app->run(ctx, app->uniform_config(tp::kBinary32));
-    const auto report = tp::sim::simulate(ctx.take_program(false));
-    // from_int conversions may exist; FP->FP casts must not.
-    const auto program_casts = report.casts;
-    // Count FpCast instructions that are genuine FP->FP casts by rerunning.
-    app->prepare(0);
-    TpContext ctx2;
-    (void)app->run(ctx2, app->uniform_config(tp::kBinary32));
-    std::uint64_t fp_casts = 0;
-    for (const auto& instr : ctx2.take_program(false).instrs) {
-        if (instr.kind == tp::sim::InstrKind::FpCast &&
-            instr.op != tp::FpOp::FromInt && instr.op != tp::FpOp::ToInt &&
-            !(instr.fmt == instr.fmt2)) {
-            ++fp_casts;
-        }
-    }
-    EXPECT_EQ(fp_casts, 0u);
-    (void)program_casts;
-}
-
-INSTANTIATE_TEST_SUITE_P(AllApps, AppsTest,
-                         ::testing::Values("jacobi", "knn", "pca", "dwt", "svm",
-                                           "conv"),
-                         [](const auto& info) { return info.param; });
-
-TEST(Apps, RegistryListsSix) {
-    EXPECT_EQ(tp::apps::app_names().size(), 6u);
-    EXPECT_EQ(tp::apps::make_all_apps().size(), 6u);
+TEST(Apps, RegistryListsNine) {
+    EXPECT_EQ(tp::apps::app_names().size(), 9u);
+    EXPECT_EQ(tp::apps::make_all_apps().size(), 9u);
 }
 
 TEST(Apps, UnknownNameThrows) {
@@ -178,17 +70,73 @@ TEST(Apps, JacobiStaysScalarButKnnVectorizes) {
     EXPECT_FALSE(kctx.take_program(true).groups.empty());
 }
 
-TEST(Apps, NarrowFormatsDegradeGracefully) {
-    // An all-binary8 run may be inaccurate but must not crash, and the
-    // binary16alt run must not saturate to infinity on PCA's wide-range
-    // data (binary16 may).
-    auto pca = make_app("pca");
-    const auto golden = pca->golden(0);
-    pca->prepare(0);
-    TpContext ctx{TpContext::Config{.trace = false}};
-    const auto alt_out = pca->run(ctx, pca->uniform_config(tp::kBinary16Alt));
-    ASSERT_EQ(alt_out.size(), golden.size());
-    for (const double v : alt_out) EXPECT_TRUE(std::isfinite(v));
+TEST(Apps, FftAndMlpVectorizeButIirStaysScalar) {
+    // The FFT's butterflies and the MLP's dot-product lanes are
+    // independent; the IIR cascade's recurrence forbids grouping.
+    for (const char* vectorized : {"fft", "mlp"}) {
+        const auto app = make_app(vectorized);
+        app->prepare(0);
+        TpContext ctx;
+        (void)app->run(ctx, app->uniform_config(tp::kBinary16));
+        EXPECT_FALSE(ctx.take_program(true).groups.empty()) << vectorized;
+    }
+    const auto iir = make_app("iir");
+    iir->prepare(0);
+    TpContext ictx;
+    (void)iir->run(ictx, iir->uniform_config(tp::kBinary16));
+    EXPECT_TRUE(ictx.take_program(true).groups.empty());
+}
+
+TEST(Apps, FftSpectrumRecoversInjectedTones) {
+    // Sanity anchor for the golden: the dominant spectral line of input
+    // set 0 must dwarf the leakage floor — a wrong butterfly or twiddle
+    // table flattens the spectrum long before it perturbs determinism.
+    const auto app = make_app("fft");
+    const auto spectrum = app->golden(0); // interleaved re/im, 32 bins
+    double peak = 0.0;
+    double total = 0.0;
+    for (std::size_t bin = 0; bin < spectrum.size() / 2; ++bin) {
+        const double re = spectrum[2 * bin];
+        const double im = spectrum[2 * bin + 1];
+        const double power = re * re + im * im;
+        peak = std::max(peak, power);
+        total += power;
+    }
+    EXPECT_GT(peak, 0.0);
+    EXPECT_GT(peak / total, 0.2) << "no dominant line in the FFT golden";
+}
+
+TEST(Apps, IirAttenuatesTheStopbandTone) {
+    // The cascade is a lowpass at ~0.1 of the sample rate; the 0.31 tone
+    // of the prepared input must come out much smaller than it went in.
+    const auto app = make_app("iir");
+    const auto out = app->golden(0);
+    // Correlate the output against the stopband tone frequency.
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    double re = 0.0;
+    double im = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const double t = static_cast<double>(i);
+        re += out[i] * std::cos(kTwoPi * 0.31 * t);
+        im += out[i] * std::sin(kTwoPi * 0.31 * t);
+    }
+    const double stop_amplitude =
+        2.0 * std::sqrt(re * re + im * im) / static_cast<double>(out.size());
+    EXPECT_LT(stop_amplitude, 1.5) << "input stopband amplitude was 15";
+}
+
+TEST(Apps, MlpModelIsFixedAcrossInputSets) {
+    // The MLP's weights are one trained model: only the inference batch
+    // varies with the input set. Identical batches must reproduce, and
+    // different batches must produce different (nonzero) logits through
+    // the same weights.
+    const auto app = make_app("mlp");
+    const auto out0 = app->golden(0);
+    const auto out1 = app->golden(1);
+    EXPECT_NE(out0, out1);
+    bool any_nonzero = false;
+    for (const double v : out0) any_nonzero = any_nonzero || v != 0.0;
+    EXPECT_TRUE(any_nonzero);
 }
 
 } // namespace

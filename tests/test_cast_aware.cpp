@@ -3,12 +3,27 @@
 #include <gtest/gtest.h>
 
 #include "apps/app.hpp"
+#include "tuning/eval_engine.hpp"
 #include "tuning/quality.hpp"
+#include "tuning/search.hpp"
 
 namespace {
 
 using tp::tuning::cast_aware_search;
 using tp::tuning::CastAwareOptions;
+using tp::tuning::CastAwareResult;
+using tp::tuning::EvalEngine;
+
+void expect_identical_cast_aware(const CastAwareResult& a,
+                                 const CastAwareResult& b) {
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.moves_accepted, b.moves_accepted);
+    EXPECT_EQ(a.base_energy_pj, b.base_energy_pj);
+    EXPECT_EQ(a.tuned_energy_pj, b.tuned_energy_pj);
+    EXPECT_EQ(a.base_casts, b.base_casts);
+    EXPECT_EQ(a.tuned_casts, b.tuned_casts);
+    EXPECT_TRUE(a.base == b.base);
+}
 
 CastAwareOptions fast_options(const char* unused = nullptr) {
     (void)unused;
@@ -83,6 +98,28 @@ TEST(CastAware, ParallelMatchesSerial) {
     EXPECT_EQ(serial.base_casts, parallel.base_casts);
     EXPECT_EQ(serial.tuned_casts, parallel.tuned_casts);
     EXPECT_EQ(serial.base.program_runs, parallel.base.program_runs);
+}
+
+// A caller-supplied engine must produce the same result as the private
+// one for any cache state (the determinism contract), and its eval_stats
+// must be this call's delta, not the engine's lifetime counters.
+TEST(CastAware, CallerSuppliedEngineMatchesPrivateEngine) {
+    auto app = tp::apps::make_app("knn");
+    const auto options = fast_options();
+    const CastAwareResult reference = cast_aware_search(*app, options);
+
+    EvalEngine engine{*app, EvalEngine::Options{}};
+    // Warm the shared engine with an unrelated plain search first: the
+    // cast-aware pass must not double-report that work...
+    (void)tp::tuning::distributed_search(engine, options.search);
+    const auto warmup = engine.stats();
+    const CastAwareResult shared = cast_aware_search(engine, options);
+    expect_identical_cast_aware(reference, shared);
+    // ...so its delta plus the warm-up equals the engine lifetime.
+    EXPECT_EQ(warmup + shared.eval_stats, engine.stats());
+    // The warm cache served the base search's trials as hits.
+    EXPECT_GT(shared.eval_stats.cache_hits, reference.eval_stats.cache_hits);
+    EXPECT_LT(shared.eval_stats.kernel_runs, reference.eval_stats.kernel_runs);
 }
 
 TEST(CastAware, MovesReportedConsistently) {

@@ -52,24 +52,9 @@ TEST(SignalTable, RejectsDuplicateNames) {
                  std::invalid_argument);
 }
 
-TEST(SignalTable, AppTablesMatchDeclarations) {
-    for (const auto& name : tp::apps::app_names()) {
-        const auto app = tp::apps::make_app(name);
-        const SignalTable& table = app->signal_table();
-        const auto& specs = app->signals();
-        ASSERT_EQ(table.size(), specs.size()) << name;
-        for (SignalId id = 0; id < specs.size(); ++id) {
-            EXPECT_EQ(table.id(specs[id].name), id) << name;
-            EXPECT_EQ(table.name(id), specs[id].name) << name;
-        }
-    }
-}
-
-TEST(SignalTable, SharedBetweenAppAndClones) {
-    const auto app = tp::apps::make_app("dwt");
-    const auto clone = app->clone();
-    EXPECT_EQ(&app->signal_table(), &clone->signal_table());
-}
+// Per-app table/clone conformance (declaration-order ids, table shared
+// with clones) runs for every registered app in the shared battery —
+// tests/app_conformance.hpp, instantiated by test_app_conformance.cpp.
 
 // --- TypeConfig hashing and equality ----------------------------------------
 
@@ -120,19 +105,8 @@ TEST(TypeConfig, UniformConfigCoversEverySignal) {
 
 // --- EvalEngine memoization -------------------------------------------------
 
-TEST(EvalEngine, GoldenMatchesAppGolden) {
-    auto app = tp::apps::make_app("knn");
-    EvalEngine engine{*app, EvalEngine::Options{}};
-    const auto expected = app->golden(1);
-    const auto& actual = engine.golden(1);
-    ASSERT_EQ(actual.size(), expected.size());
-    for (std::size_t i = 0; i < actual.size(); ++i) {
-        EXPECT_EQ(actual[i], expected[i]);
-    }
-    // Second request is served from the cache (one golden run total).
-    (void)engine.golden(1);
-    EXPECT_EQ(engine.stats().golden_runs, 1u);
-}
+// Golden caching against App::golden is covered per app by the battery
+// (AppConformanceTest.EngineGoldenMatchesAppGoldenAndIsPinned).
 
 TEST(EvalEngine, RepeatedTrialsHitTheCache) {
     const auto app = tp::apps::make_app("conv");
@@ -162,23 +136,17 @@ TEST(EvalEngine, RepeatedTrialsHitTheCache) {
     EXPECT_EQ(stats.cache_hits, 3u);
 }
 
-TEST(EvalEngine, RejectsWrongSizedConfigs) {
+TEST(EvalEngine, RejectsAnotherAppsConfig) {
+    // Size validation itself runs per app in the battery
+    // (AppConformanceTest.EngineValidatesConfigSize); this pins the
+    // cross-app flavor — a config interned for one table must not flow
+    // into another app's engine.
     const auto app = tp::apps::make_app("pca"); // 7 signals
     EvalEngine engine{*app, EvalEngine::Options{}};
-    EXPECT_THROW((void)engine.output(0, TypeConfig{}), std::invalid_argument);
     const auto other = tp::apps::make_app("jacobi"); // 4 signals
     EXPECT_THROW((void)engine.meets(0, other->uniform_config(tp::kBinary32), 1e-1),
                  std::invalid_argument);
-    EXPECT_THROW((void)engine.report(0, TypeConfig{1}, false),
-                 std::invalid_argument);
-    // Rejected configs leave the counters (and their trials == hits + runs
-    // invariant) untouched.
-    const auto stats = engine.stats();
-    EXPECT_EQ(stats.trials, 0u);
-    EXPECT_EQ(stats.kernel_runs, 0u);
-    EXPECT_EQ(stats.golden_runs, 0u);
-    // Correctly sized configs still flow.
-    EXPECT_NO_THROW((void)engine.output(0, app->uniform_config(tp::kBinary32)));
+    EXPECT_EQ(engine.stats().trials, 0u);
 }
 
 TEST(EvalEngine, MemoizationCanBeDisabled) {
@@ -355,60 +323,10 @@ SearchOptions fast_options() {
     return options;
 }
 
-void expect_identical(const TuningResult& a, const TuningResult& b,
-                      const std::string& label) {
-    // Per-field checks first for a readable failure message...
-    EXPECT_EQ(a.program_runs, b.program_runs) << label;
-    ASSERT_EQ(a.signals.size(), b.signals.size()) << label;
-    for (std::size_t i = 0; i < a.signals.size(); ++i) {
-        EXPECT_EQ(a.signals[i].name, b.signals[i].name) << label;
-        EXPECT_EQ(a.signals[i].precision_bits, b.signals[i].precision_bits)
-            << label << " signal " << a.signals[i].name;
-        EXPECT_EQ(a.signals[i].bound, b.signals[i].bound)
-            << label << " signal " << a.signals[i].name;
-    }
-    // ...then the full memberwise predicate, so fields added to
-    // TuningResult later are covered without touching this helper.
-    EXPECT_TRUE(a == b) << label;
-}
-
-// Cold cache, warm cache, disabled cache and the serial path must yield
-// bit-identical TuningResults, program_runs included.
-void expect_cache_coherent(const std::string& app_name) {
-    const auto app = tp::apps::make_app(app_name);
-    const auto options = fast_options();
-
-    EvalEngine cached{*app, EvalEngine::Options{.threads = 1, .memoize = true}};
-    const TuningResult cold = distributed_search(cached, options);
-    const std::size_t cold_runs = cached.stats().kernel_runs;
-    const TuningResult warm = distributed_search(cached, options);
-    expect_identical(cold, warm, app_name + ": warm vs cold");
-    // The warm search re-ran nothing.
-    EXPECT_EQ(cached.stats().kernel_runs, cold_runs) << app_name;
-    EXPECT_GT(cached.stats().cache_hits, 0u) << app_name;
-
-    EvalEngine uncached{*app,
-                        EvalEngine::Options{.threads = 1, .memoize = false}};
-    const TuningResult reference = distributed_search(uncached, options);
-    expect_identical(cold, reference, app_name + ": cold vs uncached");
-    EXPECT_EQ(uncached.stats().cache_hits, 0u);
-
-    EvalEngine parallel{*app,
-                        EvalEngine::Options{.threads = 4, .memoize = true}};
-    const TuningResult threaded_cold = distributed_search(parallel, options);
-    const TuningResult threaded_warm = distributed_search(parallel, options);
-    expect_identical(cold, threaded_cold, app_name + ": threads=4 cold");
-    expect_identical(cold, threaded_warm, app_name + ": threads=4 warm");
-
-    // Counters are EXACT at any thread count (single-flight execution):
-    // the pooled engine ran the same two searches as the serial one, so
-    // every counter — not just the results — must match bit-for-bit.
-    EXPECT_EQ(parallel.stats(), cached.stats()) << app_name;
-}
-
-TEST(EvalEngine, CacheCoherentDeterminismPca) { expect_cache_coherent("pca"); }
-
-TEST(EvalEngine, CacheCoherentDeterminismDwt) { expect_cache_coherent("dwt"); }
+// The cache-coherence battery (cold vs warm vs uncached vs threads=4 with
+// exact counters) runs for EVERY registered app in the shared conformance
+// harness — AppConformanceTest.SearchIsCacheCoherentAndThreadCountInvariant
+// in tests/app_conformance.hpp (it used to run here, for pca and dwt only).
 
 TEST(EvalEngine, SharedEngineAccountsAcrossSearches) {
     const auto app = tp::apps::make_app("dwt");

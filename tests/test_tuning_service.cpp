@@ -199,6 +199,96 @@ TEST(TuningService, GoldensSurviveEviction) {
     EXPECT_EQ(before, app->golden(0));
 }
 
+// A heterogeneous batch mixing the paper's six kernels with the new fft /
+// iir / mlp workloads: results come back in request order (each app's
+// signal table proves which search produced a slot), one engine per
+// distinct app, and the counters stay exact at threads=4.
+TEST(TuningService, HeterogeneousBatchAcrossAllNineApps) {
+    const auto& names = tp::apps::app_names();
+    ASSERT_EQ(names.size(), 9u);
+    std::vector<TuningRequest> batch;
+    for (const std::string& name : names) {
+        batch.push_back(request_for(name, 1e-1));
+    }
+    // Interleaved repeats: cross-request hits must span app boundaries
+    // without mixing up engines.
+    batch.push_back(request_for("fft", 1e-1));
+    batch.push_back(request_for("jacobi", 1e-1));
+
+    TuningService serial{TuningService::Options{.threads = 1}};
+    TuningService threaded{TuningService::Options{.threads = 4}};
+    const auto serial_result = serial.run(batch);
+    const auto threaded_result = threaded.run(batch);
+
+    ASSERT_EQ(serial_result.results.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        // Request order: slot i carries exactly request i's app (signal
+        // names match that app's table) and epsilon.
+        const auto app = tp::apps::make_app(batch[i].app);
+        const auto& signals = serial_result.results[i].signals;
+        ASSERT_EQ(signals.size(), app->signals().size()) << "request " << i;
+        for (std::size_t s = 0; s < signals.size(); ++s) {
+            EXPECT_EQ(signals[s].name, app->signals()[s].name)
+                << "request " << i;
+        }
+        EXPECT_EQ(serial_result.results[i].epsilon, batch[i].epsilon);
+    }
+    // The repeats reproduced their originals bit-for-bit.
+    EXPECT_TRUE(serial_result.results[9] == serial_result.results[6]);
+    EXPECT_TRUE(serial_result.results[10] == serial_result.results[0]);
+
+    expect_identical_batches(serial_result, threaded_result,
+                             "nine-app batch, threads=4 vs serial");
+    EXPECT_EQ(threaded_result.stats, serial_result.stats);
+    EXPECT_EQ(threaded_result.stats.trials,
+              threaded_result.stats.kernel_runs +
+                  threaded_result.stats.cache_hits);
+    // One engine per distinct app, not per request.
+    EXPECT_EQ(serial.engine_count(), 9u);
+    EXPECT_EQ(threaded.engine_count(), 9u);
+    // The repeated requests were served from their apps' caches.
+    EXPECT_GT(threaded_result.stats.cache_hits, 0u);
+}
+
+// Cast-aware requests routed through the service share the per-app engine
+// caches with batched plain searches (the ROADMAP engine-sharing item).
+TEST(TuningService, CastAwareSharesTheServiceEngineCaches) {
+    tp::tuning::CastAwareOptions options;
+    options.search = fast_options();
+    options.search.epsilon = 1e-2;
+    options.search.input_sets = {0, 1};
+    options.max_rounds = 1;
+
+    // Reference: the same pass on a cold private engine.
+    const auto app = tp::apps::make_app("knn");
+    const auto reference = tp::tuning::cast_aware_search(*app, options);
+
+    TuningService service;
+    // A plain batched search first, at the same requirement, warms the
+    // app's engine...
+    (void)service.run({request_for("knn", 1e-2)});
+    const auto warm_stats = service.stats();
+    const auto shared = service.cast_aware("knn", options);
+
+    // ...and the cast-aware pass reuses it: same result bit-for-bit, with
+    // the base search served from cache (fewer kernel runs than cold).
+    EXPECT_EQ(shared.config, reference.config);
+    EXPECT_TRUE(shared.base == reference.base);
+    EXPECT_EQ(shared.tuned_energy_pj, reference.tuned_energy_pj);
+    EXPECT_EQ(shared.moves_accepted, reference.moves_accepted);
+    EXPECT_GT(shared.eval_stats.cache_hits, reference.eval_stats.cache_hits);
+    EXPECT_LT(shared.eval_stats.kernel_runs, reference.eval_stats.kernel_runs);
+    // eval_stats is the call's delta on the service engine.
+    EXPECT_EQ(warm_stats + shared.eval_stats, service.stats());
+    // Still one engine for the app; the pass created none of its own.
+    EXPECT_EQ(service.engine_count(), 1u);
+
+    // The sharing works both ways: a repeat of the plain request after the
+    // cast-aware pass is still fully cached.
+    const auto repeat = service.run({request_for("knn", 1e-2)});
+    EXPECT_EQ(repeat.stats.kernel_runs, 0u);
+}
+
 TEST(TuningService, PerRequestOptionsAreHonored) {
     TuningService service;
     TuningRequest v1 = request_for("jacobi", 1e-2);
