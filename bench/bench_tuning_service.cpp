@@ -106,6 +106,34 @@ int main() {
     const double warm_seconds = seconds_since(warm_start);
     print_stats("warm x4", warm.stats, warm_seconds);
 
+    // The same warm batch through the async surface at adversarial
+    // priorities: run() is a thin wrapper over submit(), so the handles
+    // must resolve to bit-identical, fully cached results no matter how
+    // the scheduler reorders them.
+    std::vector<tp::tuning::TicketHandle> handles;
+    handles.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        handles.push_back(threaded.submit(tp::tuning::Request{
+            .work = batch[i],
+            .priority = i % 2 == 0 ? tp::tuning::Priority::kSweep
+                                   : tp::tuning::Priority::kInteractive}));
+    }
+    bool async_identical = true;
+    EvalStats async_stats;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        async_identical = tp::bench::identical_results(
+                              handles[i].search_result(), warm.results[i]) &&
+                          async_identical;
+        async_stats += handles[i].stats();
+    }
+    const bool async_fully_cached =
+        async_stats.kernel_runs == 0 &&
+        async_stats.cache_hits == async_stats.trials;
+    std::printf("async x4      %5zu trials %5zu runs %5zu hits "
+                "(mixed priorities, identical to warm: %s)\n",
+                async_stats.trials, async_stats.kernel_runs,
+                async_stats.cache_hits, async_identical ? "yes" : "NO");
+
     // Reference: the same batch serially — results AND counters must
     // match the threaded run exactly (single-flight).
     TuningService serial_service{TuningService::Options{.threads = 1}};
@@ -134,9 +162,11 @@ int main() {
     std::printf("\nbatch identical across thread counts, warmth, eviction: %s\n"
                 "threaded counters exactly equal serial: %s\n"
                 "warm batch fully cached: %s\n"
+                "async mixed-priority submits identical and cached: %s\n"
                 "eviction stress evicted entries: %s\n",
                 results_identical ? "yes" : "NO", counters_exact ? "yes" : "NO",
                 warm_fully_cached ? "yes" : "NO",
+                (async_identical && async_fully_cached) ? "yes" : "NO",
                 eviction_occurred ? "yes" : "NO");
 
     const auto doc =
@@ -149,6 +179,8 @@ int main() {
             .field("cross_request_hit_rate", cold.stats.hit_rate())
             .field("bit_identical", results_identical)
             .field("counters_exact", counters_exact)
+            .field("async_identical", async_identical)
+            .field("async_fully_cached", async_fully_cached)
             .field("eviction_budget_bytes", kTinyBudget)
             .raw("cold_threads4", stats_json(cold.stats, cold_seconds))
             .raw("warm_threads4", stats_json(warm.stats, warm_seconds))
@@ -160,7 +192,7 @@ int main() {
     std::printf("\nwrote BENCH_service.json\n");
 
     if (!results_identical || !counters_exact || !warm_fully_cached ||
-        !eviction_occurred) {
+        !async_identical || !async_fully_cached || !eviction_occurred) {
         std::printf("FAIL: service contract violated\n");
         return 1;
     }

@@ -1,16 +1,18 @@
-// The batched tuning service (tuning/service.hpp): tune a whole request
-// mix in one call instead of hand-rolling per-app/per-epsilon loops.
+// The async tuning service (tuning/service.hpp): submit requests with
+// priorities, deadlines, and cancellation instead of hand-rolling
+// per-app/per-epsilon loops — and watch a small interactive request
+// overtake a queued sweep backlog.
 //
-// Before the service, sweeping several quality requirements meant an
-// ad-hoc loop of distributed_search calls, each paying for its own golden
-// runs and re-running probes the previous iteration already evaluated.
 // The service routes every request for an app to one long-lived
-// EvalEngine, runs independent searches on a worker pool, and the shared
-// memoized trial cache makes the overlap between requests mostly free —
-// exactly one kernel execution per distinct (input set, binding), at any
-// concurrency (single-flight).
+// EvalEngine, schedules requests by (priority, admission order) on a
+// persistent worker pool, and the shared memoized trial cache makes the
+// overlap between requests mostly free — exactly one kernel execution
+// per distinct (input set, binding), at any concurrency (single-flight).
+// Results never depend on scheduling: the same request returns the same
+// bits at any priority, thread count, or cache state.
 //
 // Run: ./build/tuning_service_demo [threads]
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 
@@ -18,51 +20,118 @@
 #include "types/format.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-    const unsigned threads =
-        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+namespace {
 
-    // The request mix: three apps, the paper's three requirements each.
-    std::vector<tp::tuning::TuningRequest> batch;
+double latency_ms(const tp::tuning::TicketHandle& handle) {
+    return std::chrono::duration<double, std::milli>(handle.completed_at() -
+                                                     handle.submitted_at())
+        .count();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using tp::tuning::Priority;
+    using tp::tuning::Request;
+    using tp::tuning::RequestStatus;
+    using tp::tuning::SweepRequest;
+    using tp::tuning::TicketHandle;
+    using tp::tuning::TuningRequest;
+
+    const unsigned threads =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 2;
+    tp::tuning::TuningService service{
+        tp::tuning::TuningService::Options{.threads = threads}};
+    std::cout << "async tuning service on " << threads << " worker(s)\n\n";
+
+    // A backlog of bulk work: one three-epsilon sweep per app, admitted
+    // at the lowest priority.
+    std::vector<TicketHandle> sweeps;
     for (const char* app : {"pca", "dwt", "knn"}) {
+        SweepRequest sweep;
+        sweep.app = app;
+        sweep.epsilons = {1e-3, 1e-2, 1e-1};
+        sweeps.push_back(service.submit(
+            Request{.work = std::move(sweep), .priority = Priority::kSweep}));
+    }
+
+    // An interactive request arrives behind the backlog — and overtakes
+    // it: the scheduler pops by priority, so this runs on the next free
+    // worker, not after every sweep.
+    TuningRequest interactive;
+    interactive.app = "jacobi";
+    interactive.epsilon = 1e-1;
+    const TicketHandle urgent = service.submit(
+        Request{.work = interactive,
+                .priority = Priority::kInteractive,
+                .deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(30)});
+
+    // Bulk work is also refusable: cancel one queued sweep (a running
+    // one would finish — cancellation never corrupts results).
+    const bool cancelled = sweeps.back().cancel();
+
+    const auto& tuned = urgent.search_result(); // wait()s
+    std::cout << "interactive jacobi @1e-1 finished in " << latency_ms(urgent)
+              << " ms, " << tuned.program_runs << " trials, while "
+              << (cancelled ? "the cancelled sweep never ran and "
+                            : "every sweep ran and ")
+              << "the backlog kept draining\n\n";
+
+    tp::util::Table table(
+        {"app", "epsilon", "status", "trials", "binding (per signal bits)"});
+    const auto add_row = [&table](const char* app, double epsilon,
+                                  const tp::tuning::TuningResult& result) {
+        std::string binding;
+        for (const auto& sr : result.signals) {
+            if (!binding.empty()) binding += ' ';
+            binding += std::to_string(sr.precision_bits);
+        }
+        table.add_row({app, tp::util::Table::num(epsilon, 3), "done",
+                       std::to_string(result.program_runs), binding});
+    };
+    add_row("jacobi", 1e-1, tuned);
+    const char* sweep_apps[] = {"pca", "dwt", "knn"};
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        sweeps[i].wait();
+        const RequestStatus status = sweeps[i].status();
+        if (status != RequestStatus::kDone) {
+            // A failed sweep is a real error, not a cancellation — say so.
+            table.add_row({sweep_apps[i], "-",
+                           status == RequestStatus::kCancelled ? "cancelled"
+                                                               : "failed",
+                           "0", "-"});
+            continue;
+        }
+        const auto& results = sweeps[i].sweep_results();
+        const double epsilons[] = {1e-3, 1e-2, 1e-1};
+        for (std::size_t e = 0; e < results.size(); ++e) {
+            add_row(sweep_apps[i], epsilons[e], results[e]);
+        }
+    }
+    table.print(std::cout);
+
+    const auto stats = service.stats();
+    std::cout << "\nservice totals: " << stats.trials << " trials, "
+              << stats.kernel_runs << " kernel executions, "
+              << stats.cache_hits << " served from shared caches ("
+              << static_cast<int>(100.0 * stats.hit_rate())
+              << "% eliminated)\n";
+
+    // The synchronous batch API survives as a wrapper over submit():
+    // repeating the drained work through run() is pure cache.
+    std::vector<TuningRequest> batch;
+    for (const char* app : {"pca", "dwt"}) {
         for (const double epsilon : {1e-3, 1e-2, 1e-1}) {
-            tp::tuning::TuningRequest request;
+            TuningRequest request;
             request.app = app;
             request.epsilon = epsilon;
             batch.push_back(std::move(request));
         }
     }
-
-    tp::tuning::TuningService service{
-        tp::tuning::TuningService::Options{.threads = threads}};
-    std::cout << "tuning " << batch.size() << " requests on " << threads
-              << " worker(s)...\n\n";
-    const auto outcome = service.run(batch);
-
-    tp::util::Table table(
-        {"app", "epsilon", "trials submitted", "binding (per signal bits)"});
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const auto& tuning = outcome.results[i];
-        std::string binding;
-        for (const auto& sr : tuning.signals) {
-            if (!binding.empty()) binding += ' ';
-            binding += std::to_string(sr.precision_bits);
-        }
-        table.add_row({batch[i].app, tp::util::Table::num(batch[i].epsilon, 3),
-                       std::to_string(tuning.program_runs), binding});
-    }
-    table.print(std::cout);
-
-    const auto& stats = outcome.stats;
-    std::cout << "\nbatch totals: " << stats.trials << " trials, "
-              << stats.kernel_runs << " kernel executions, " << stats.cache_hits
-              << " served from shared caches ("
-              << static_cast<int>(100.0 * outcome.hit_rate())
-              << "% of the batch eliminated)\n";
-
-    // The service is long-lived: a repeated burst is pure cache.
     const auto repeat = service.run(batch);
-    std::cout << "repeating the whole batch: " << repeat.stats.kernel_runs
+    std::cout << "re-running " << batch.size()
+              << " of those requests through run(): " << repeat.stats.kernel_runs
               << " kernel executions ("
               << static_cast<int>(100.0 * repeat.hit_rate())
               << "% served from cache)\n";

@@ -15,6 +15,8 @@
 // until a fixpoint.
 #pragma once
 
+#include <string>
+
 #include "apps/app.hpp"
 #include "sim/platform.hpp"
 #include "tuning/eval_engine.hpp"
@@ -29,6 +31,17 @@ struct CastAwareOptions {
     bool simd = true;          // platform configuration for the cost oracle
     int max_rounds = 4;        // greedy sweeps over all variables
     unsigned cost_input_set = 0; // workload used for energy evaluation
+};
+
+/// A cast-aware pass as a service request: the payload of the cast-aware
+/// variant of tuning::Request (tuning/service.hpp). Pairs the app name
+/// with the pass options; the service resolves the name to the app's
+/// long-lived engine at admission, so a cast-aware request shares the
+/// service caches exactly like TuningService::cast_aware always has.
+struct CastAwareRequest {
+    std::string app;           // apps::make_app name
+    CastAwareOptions options{}; // options.search.threads is ignored (the
+                               // service engines are pool-less)
 };
 
 struct CastAwareResult {

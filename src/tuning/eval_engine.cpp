@@ -37,7 +37,33 @@ std::size_t report_bytes(const sim::RunReport& report,
            2 * key_bytes(config_signals) + kEntryOverheadBytes;
 }
 
+/// The stack of EvalStatsScopes alive on this thread. Thread-local, so
+/// scope bookkeeping needs no synchronization and each counter bump lands
+/// in exactly one thread's scopes.
+std::vector<EvalStats*>& active_scopes() {
+    thread_local std::vector<EvalStats*> scopes;
+    return scopes;
+}
+
+/// Applies one counter bump to the engine's stats (under its lock) and to
+/// every scope alive on the current thread (lock-free — thread-local).
+template <typename Apply>
+void bump(std::mutex& stats_mutex, EvalStats& stats, Apply apply) {
+    {
+        const std::lock_guard<std::mutex> lock{stats_mutex};
+        apply(stats);
+    }
+    for (EvalStats* scope : active_scopes()) apply(*scope);
+}
+
 } // namespace
+
+EvalStatsScope::EvalStatsScope() { active_scopes().push_back(&stats_); }
+
+EvalStatsScope::~EvalStatsScope() {
+    assert(!active_scopes().empty() && active_scopes().back() == &stats_);
+    active_scopes().pop_back();
+}
 
 /// A single-flight rendezvous: the first requester of a missing key owns
 /// the Flight and executes; concurrent requesters wait on `result`.
@@ -129,10 +155,7 @@ const std::vector<double>& EvalEngine::golden(unsigned input_set) {
         std::unique_ptr<apps::App> app = acquire_clone();
         std::vector<double> reference = app->golden(input_set);
         release_clone(std::move(app));
-        {
-            const std::lock_guard<std::mutex> lock{stats_mutex_};
-            ++stats_.golden_runs;
-        }
+        bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.golden_runs; });
         const std::vector<double>* stored = nullptr;
         {
             const std::lock_guard<std::mutex> lock{cache_mutex_};
@@ -158,10 +181,7 @@ std::vector<double> EvalEngine::output(unsigned input_set,
     // must leave the engine (and the trials == hits + runs invariant)
     // untouched.
     check_config(config);
-    {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.trials;
-    }
+    bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.trials; });
     return *obtain(CacheKey{CacheKey::Kind::Output, input_set, /*simd=*/false,
                             config})
                 .output;
@@ -170,10 +190,7 @@ std::vector<double> EvalEngine::output(unsigned input_set,
 bool EvalEngine::meets(unsigned input_set, const apps::TypeConfig& config,
                        double epsilon) {
     check_config(config); // before the golden run and the trial counter
-    {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.trials;
-    }
+    bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.trials; });
     // Golden first: the reference stays valid (pinned) while the trial
     // cache mutates, and the hit path reduces the shared cached output in
     // place — no copy.
@@ -186,10 +203,7 @@ bool EvalEngine::meets(unsigned input_set, const apps::TypeConfig& config,
 sim::RunReport EvalEngine::report(unsigned input_set,
                                   const apps::TypeConfig& config, bool simd) {
     check_config(config);
-    {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.trials;
-    }
+    bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.trials; });
     return *obtain(CacheKey{CacheKey::Kind::Report, input_set, simd, config})
                 .report;
 }
@@ -210,10 +224,7 @@ EvalEngine::CacheValue EvalEngine::execute(const CacheKey& key) {
             sim::simulate(ctx.take_program(key.simd)));
     }
     release_clone(std::move(app));
-    {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.kernel_runs;
-    }
+    bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.kernel_runs; });
     return value;
 }
 
@@ -245,8 +256,7 @@ EvalEngine::CacheValue EvalEngine::obtain(const CacheKey& key) {
     // Locks are taken sequentially, never nested — the engine has no lock
     // ordering to get wrong.
     if (ready.output != nullptr || ready.report != nullptr) {
-        const std::lock_guard<std::mutex> lock{stats_mutex_};
-        ++stats_.cache_hits;
+        bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.cache_hits; });
         return ready;
     }
 
@@ -257,10 +267,7 @@ EvalEngine::CacheValue EvalEngine::obtain(const CacheKey& key) {
         // resolves: if the runner failed, get() rethrows and this trial
         // produced neither a hit nor a run.
         CacheValue value = flight->result.get();
-        {
-            const std::lock_guard<std::mutex> lock{stats_mutex_};
-            ++stats_.cache_hits;
-        }
+        bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.cache_hits; });
         return value;
     }
 
@@ -288,8 +295,8 @@ EvalEngine::CacheValue EvalEngine::obtain(const CacheKey& key) {
             }
         }
         if (evicted > 0) {
-            const std::lock_guard<std::mutex> lock{stats_mutex_};
-            stats_.evictions += evicted;
+            bump(stats_mutex_, stats_,
+                 [evicted](EvalStats& s) { s.evictions += evicted; });
         }
         flight->promise.set_value(value);
         return value;

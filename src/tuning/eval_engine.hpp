@@ -111,6 +111,38 @@ struct EvalStats {
     friend bool operator==(const EvalStats&, const EvalStats&) = default;
 };
 
+/// RAII accumulator for per-caller counter deltas. While a scope is
+/// alive, every EvalStats bump any engine makes FROM THE CURRENT THREAD
+/// is added to the scope as well as to the engine's own stats(). Scopes
+/// nest (inner and outer both count) and are engine-agnostic (a thread
+/// touching several engines sums across them).
+///
+/// The thread-locality is the point and the caveat: a pool-LESS engine
+/// evaluates every trial inline on the calling thread, so a scope around
+/// a search captures that search's delta exactly — even when concurrent
+/// threads hammer the same engine, because each bump lands in exactly one
+/// thread's scopes, scoped deltas across threads sum to the engine delta
+/// with nothing counted twice. (Single-flight keeps the attribution
+/// honest: the executor books the kernel_run, each waiter books its own
+/// cache_hit.) An engine that owns a pool runs trials on its workers,
+/// OUTSIDE the submitting thread's scopes — don't wrap pooled searches
+/// and expect exact deltas. The TuningService's per-request stats ride on
+/// this: its engines are pool-less and each request runs inline on one
+/// scheduler worker.
+class EvalStatsScope {
+public:
+    EvalStatsScope();
+    ~EvalStatsScope();
+    EvalStatsScope(const EvalStatsScope&) = delete;
+    EvalStatsScope& operator=(const EvalStatsScope&) = delete;
+
+    /// The bumps observed so far (live — readable mid-scope).
+    [[nodiscard]] const EvalStats& stats() const noexcept { return stats_; }
+
+private:
+    EvalStats stats_;
+};
+
 class EvalEngine {
 public:
     struct Options {

@@ -49,6 +49,17 @@
 //     searches are the main hit sources inside one search; overlapping
 //     requests on a shared long-lived engine (tuning/service.hpp) hit
 //     across searches.
+//
+//   * scheduling — a corollary of the two axes above that the async
+//     TuningService (tuning/service.hpp) leans on: a search's result is a
+//     function of its request alone, never of WHEN or WHERE it ran. The
+//     priority a request was admitted at, the deadline it carried, the
+//     admission order around it, cancellation of other requests, which
+//     scheduler worker executed it, and whatever the shared caches held
+//     when it started are all invisible in the TuningResult — QoS knobs
+//     reorder work, they cannot change bits. (A cancelled request has no
+//     result at all; cancellation never stops a search mid-flight, so no
+//     partially-evaluated state can leak into a neighbour's trials.)
 #pragma once
 
 #include <array>

@@ -1,30 +1,264 @@
 #include "tuning/service.hpp"
 
+#include <condition_variable>
+#include <exception>
 #include <utility>
 
 #include "apps/app.hpp"
-#include "util/thread_pool.hpp"
+#include "util/priority_scheduler.hpp"
 
 namespace tp::tuning {
 
-TuningService::TuningService() : TuningService(Options{}) {}
+namespace detail {
 
-TuningService::TuningService(const Options& options) : options_(options) {
-    if (options.threads > 1) {
-        pool_ = std::make_unique<util::ThreadPool>(options.threads);
+/// The shared state behind one TicketHandle. The queue's closure and
+/// every handle copy co-own it; `mutex`/`cv` guard the lifecycle fields,
+/// which only ever move forward (kQueued -> kRunning -> terminal), so a
+/// reader that observes a terminal status may read `value`/`stats`/
+/// `error` without re-checking.
+struct ServiceTicket {
+    using Clock = std::chrono::steady_clock;
+
+    // Immutable after submit().
+    std::uint64_t id = 0;
+    Request request;
+    EvalEngine* engine = nullptr;
+    Clock::time_point submitted_at{};
+
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    RequestStatus status = RequestStatus::kQueued;
+    RequestResult value;
+    EvalStats stats;               // exact per-request delta (EvalStatsScope)
+    std::exception_ptr error;      // set for kFailed
+    Clock::time_point completed_at{}; // set on the terminal transition
+};
+
+} // namespace detail
+
+namespace {
+
+using detail::ServiceTicket;
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] bool is_terminal(RequestStatus status) noexcept {
+    return status != RequestStatus::kQueued &&
+           status != RequestStatus::kRunning;
+}
+
+/// Queued -> Cancelled, if still queued. Shared by TicketHandle::cancel()
+/// and the service destructor.
+bool cancel_ticket(ServiceTicket& ticket) {
+    const std::lock_guard<std::mutex> lock{ticket.mutex};
+    if (ticket.status != RequestStatus::kQueued) return false;
+    ticket.status = RequestStatus::kCancelled;
+    ticket.completed_at = Clock::now();
+    ticket.cv.notify_all();
+    return true;
+}
+
+/// Every work variant names its app; admission resolves it to an engine.
+const std::string& app_of(const Request::Work& work) {
+    return std::visit([](const auto& r) -> const std::string& { return r.app; },
+                      work);
+}
+
+/// Per-search options with the request-level fields folded in.
+SearchOptions resolve(SearchOptions options, double epsilon,
+                      const std::vector<unsigned>& input_sets) {
+    options.epsilon = epsilon;
+    options.input_sets = input_sets;
+    options.threads = 1; // unused: the service engines are pool-less
+    return options;
+}
+
+template <typename... Ts>
+struct Overloaded : Ts... {
+    using Ts::operator()...;
+};
+template <typename... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+/// Runs one admitted request's work on its app's engine, inline on the
+/// calling scheduler worker. Pure in (engine caches aside) the work
+/// payload — the determinism contract's scheduling-independence rests on
+/// this function never looking at priority, deadline, or ticket state.
+RequestResult execute_work(EvalEngine& engine, const Request::Work& work) {
+    return std::visit(
+        Overloaded{
+            [&engine](const TuningRequest& r) -> RequestResult {
+                return distributed_search(
+                    engine, resolve(r.options, r.epsilon, r.input_sets));
+            },
+            [&engine](const CastAwareRequest& r) -> RequestResult {
+                return cast_aware_search(engine, r.options);
+            },
+            [&engine](const SweepRequest& r) -> RequestResult {
+                std::vector<TuningResult> results;
+                results.reserve(r.epsilons.size());
+                for (const double epsilon : r.epsilons) {
+                    results.push_back(distributed_search(
+                        engine, resolve(r.options, epsilon, r.input_sets)));
+                }
+                return results;
+            },
+        },
+        work);
+}
+
+/// The closure body a worker pops: admission checks (tombstone, deadline)
+/// under the ticket lock, then the actual search OUTSIDE any lock, then
+/// the terminal transition. Owns no reference to the service — the
+/// ticket carries everything, so destruction-time draining never races
+/// service members.
+void run_ticket(const std::shared_ptr<ServiceTicket>& ticket) {
+    {
+        const std::lock_guard<std::mutex> lock{ticket->mutex};
+        if (ticket->status != RequestStatus::kQueued) return; // tombstone
+        if (ticket->request.deadline.has_value() &&
+            Clock::now() >= *ticket->request.deadline) {
+            // Typed rejection: the request missed its deadline while
+            // queued. Costs the worker a pop, never a kernel.
+            ticket->status = RequestStatus::kExpired;
+            ticket->completed_at = Clock::now();
+            ticket->cv.notify_all();
+            return;
+        }
+        ticket->status = RequestStatus::kRunning;
+    }
+
+    RequestStatus terminal = RequestStatus::kDone;
+    RequestResult value;
+    EvalStats delta;
+    std::exception_ptr error;
+    {
+        // The scope captures exactly this request's counter bumps: the
+        // engine is pool-less, so every trial runs on this thread. It
+        // wraps the catch too — a failed search bumped real counters
+        // before throwing, and per-ticket deltas must still sum to the
+        // engine delta.
+        const EvalStatsScope scope;
+        try {
+            value = execute_work(*ticket->engine, ticket->request.work);
+        } catch (...) {
+            error = std::current_exception();
+            terminal = RequestStatus::kFailed;
+        }
+        delta = scope.stats();
+    }
+    // cast_aware_search reports a before/after engine snapshot, which on
+    // a shared engine can interleave foreign traffic; the scoped delta is
+    // exact, so it is what the stored result carries.
+    if (auto* cast = std::get_if<CastAwareResult>(&value)) {
+        cast->eval_stats = delta;
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock{ticket->mutex};
+        ticket->status = terminal;
+        ticket->value = std::move(value);
+        ticket->stats = delta;
+        ticket->error = error;
+        ticket->completed_at = Clock::now();
+        ticket->cv.notify_all();
     }
 }
 
-// Batch workers reference the engines; the pool must drain first (same
-// ordering argument as EvalEngine's destructor).
-TuningService::~TuningService() { pool_.reset(); }
+} // namespace
+
+// --- TicketHandle -----------------------------------------------------------
+
+std::uint64_t TicketHandle::id() const { return ticket_->id; }
+
+RequestStatus TicketHandle::status() const {
+    const std::lock_guard<std::mutex> lock{ticket_->mutex};
+    return ticket_->status;
+}
+
+void TicketHandle::wait() const {
+    std::unique_lock<std::mutex> lock{ticket_->mutex};
+    ticket_->cv.wait(lock, [this] { return is_terminal(ticket_->status); });
+}
+
+const RequestResult& TicketHandle::get() const {
+    std::unique_lock<std::mutex> lock{ticket_->mutex};
+    ticket_->cv.wait(lock, [this] { return is_terminal(ticket_->status); });
+    switch (ticket_->status) {
+        case RequestStatus::kCancelled:
+            throw RequestCancelled{ticket_->id};
+        case RequestStatus::kExpired:
+            throw DeadlineExpired{ticket_->id};
+        case RequestStatus::kFailed:
+            std::rethrow_exception(ticket_->error);
+        default:
+            // Terminal fields are immutable once set; the reference stays
+            // valid as long as any handle keeps the ticket alive.
+            return ticket_->value;
+    }
+}
+
+const TuningResult& TicketHandle::search_result() const {
+    return std::get<TuningResult>(get());
+}
+
+const CastAwareResult& TicketHandle::cast_aware_result() const {
+    return std::get<CastAwareResult>(get());
+}
+
+const std::vector<TuningResult>& TicketHandle::sweep_results() const {
+    return std::get<std::vector<TuningResult>>(get());
+}
+
+bool TicketHandle::cancel() const { return cancel_ticket(*ticket_); }
+
+EvalStats TicketHandle::stats() const {
+    const std::lock_guard<std::mutex> lock{ticket_->mutex};
+    return is_terminal(ticket_->status) ? ticket_->stats : EvalStats{};
+}
+
+std::chrono::steady_clock::time_point TicketHandle::submitted_at() const {
+    return ticket_->submitted_at;
+}
+
+std::chrono::steady_clock::time_point TicketHandle::completed_at() const {
+    const std::lock_guard<std::mutex> lock{ticket_->mutex};
+    return ticket_->completed_at;
+}
+
+// --- TuningService ----------------------------------------------------------
+
+TuningService::TuningService() : TuningService(Options{}) {}
+
+TuningService::TuningService(const Options& options)
+    : options_(options),
+      scheduler_(std::make_unique<util::PriorityScheduler>(options.threads)) {}
+
+TuningService::~TuningService() {
+    // Cancel everything still queued: their closures become tombstones
+    // and their waiters wake with kCancelled. Running requests are left
+    // alone — the scheduler drain below waits for them.
+    std::vector<std::shared_ptr<detail::ServiceTicket>> live;
+    {
+        const std::lock_guard<std::mutex> lock{tickets_mutex_};
+        for (const auto& weak : tickets_) {
+            if (auto ticket = weak.lock()) live.push_back(std::move(ticket));
+        }
+        tickets_.clear();
+    }
+    for (const auto& ticket : live) (void)cancel_ticket(*ticket);
+    // Workers drain (tombstone pops + running searches) and join while
+    // the engines they reference are still alive; the implicit member
+    // destruction order would do the same, but the intent is load-bearing
+    // enough to spell out.
+    scheduler_.reset();
+}
 
 EvalEngine& TuningService::engine(std::string_view app_name) {
     const std::lock_guard<std::mutex> lock{engines_mutex_};
     const auto it = engines_.find(app_name);
     if (it != engines_.end()) return *it->second;
-    // Engines are pool-less (threads = 1): a search task evaluates its
-    // trials inline on its batch worker, so no worker ever blocks on a
+    // Engines are pool-less (threads = 1): a request evaluates its trials
+    // inline on its scheduler worker, so no worker ever blocks on a
     // queued task. Cross-request concurrency on the shared caches is
     // handled by the engine's own locking and single-flight execution.
     const std::unique_ptr<apps::App> prototype = apps::make_app(app_name);
@@ -37,9 +271,63 @@ EvalEngine& TuningService::engine(std::string_view app_name) {
                 .first->second;
 }
 
+TicketHandle TuningService::submit(Request request) {
+    // Admission control: resolve the app before anything is enqueued —
+    // an unknown name throws std::out_of_range here and the service is
+    // untouched.
+    EvalEngine& request_engine = engine(app_of(request.work));
+
+    auto ticket = std::make_shared<detail::ServiceTicket>();
+    ticket->request = std::move(request);
+    ticket->engine = &request_engine;
+    ticket->submitted_at = Clock::now();
+    {
+        const std::lock_guard<std::mutex> lock{tickets_mutex_};
+        ticket->id = next_ticket_id_++;
+        std::erase_if(tickets_,
+                      [](const auto& weak) { return weak.expired(); });
+        tickets_.push_back(ticket);
+    }
+    scheduler_->submit(static_cast<int>(ticket->request.priority),
+                       [ticket] { run_ticket(ticket); });
+    return TicketHandle{std::move(ticket)};
+}
+
+TuningBatchResult TuningService::run(const std::vector<TuningRequest>& batch) {
+    // Validate every app up front, serially, in request order: creation
+    // is deterministic, and an unknown app rejects the batch before any
+    // request is admitted.
+    for (const TuningRequest& request : batch) (void)engine(request.app);
+
+    std::vector<TicketHandle> handles;
+    handles.reserve(batch.size());
+    for (const TuningRequest& request : batch) {
+        handles.push_back(submit(Request{.work = request}));
+    }
+
+    TuningBatchResult result;
+    result.results.reserve(batch.size());
+    // Every ticket is awaited even after a failure (the pre-async run()
+    // awaited all its futures the same way); the first error is rethrown
+    // once the whole batch is terminal.
+    std::exception_ptr first_error;
+    for (const TicketHandle& handle : handles) {
+        try {
+            result.results.push_back(handle.search_result());
+            result.stats += handle.stats();
+        } catch (...) {
+            if (first_error == nullptr) first_error = std::current_exception();
+        }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+    return result;
+}
+
 CastAwareResult TuningService::cast_aware(std::string_view app_name,
                                           const CastAwareOptions& options) {
-    return cast_aware_search(engine(app_name), options);
+    const TicketHandle handle = submit(
+        Request{.work = CastAwareRequest{std::string(app_name), options}});
+    return handle.cast_aware_result();
 }
 
 std::size_t TuningService::engine_count() const {
@@ -52,33 +340,6 @@ EvalStats TuningService::stats() const {
     EvalStats total;
     for (const auto& [name, engine] : engines_) total += engine->stats();
     return total;
-}
-
-TuningBatchResult TuningService::run(const std::vector<TuningRequest>& batch) {
-    // Resolve engines up front, serially, in request order: creation is
-    // deterministic, and an unknown app rejects the batch before any
-    // search runs.
-    std::vector<EvalEngine*> engines;
-    engines.reserve(batch.size());
-    for (const TuningRequest& request : batch) {
-        engines.push_back(&engine(request.app));
-    }
-
-    const EvalStats before = stats();
-    std::vector<TuningResult> results = util::indexed_map(
-        pool_.get(), batch.size(), [&batch, &engines](std::size_t i) {
-            const TuningRequest& request = batch[i];
-            SearchOptions options = request.options;
-            options.epsilon = request.epsilon;
-            options.input_sets = request.input_sets;
-            options.threads = 1; // unused: the engine has no pool
-            return distributed_search(*engines[i], options);
-        });
-
-    TuningBatchResult result;
-    result.results = std::move(results);
-    result.stats = stats() - before;
-    return result;
 }
 
 } // namespace tp::tuning

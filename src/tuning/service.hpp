@@ -1,49 +1,75 @@
-// TuningService — batched precision tuning on long-lived EvalEngines.
+// TuningService — asynchronous precision-tuning service on long-lived
+// per-app EvalEngines.
 //
-// The paper's flow tunes one application for one quality requirement at a
-// time. A tuning service sees a different workload: bursts of requests,
-// many of them for the same application at overlapping requirements —
-// and the engine's memoization makes the overlap mostly free (the
-// measured epsilon sweeps eliminate 44-58% of kernel executions on a
-// shared engine, 100% for exact repeats). The service exploits that:
+// The paper's flow tunes one application for one quality requirement at
+// a time; the service scenario is sustained traffic: bursts of requests,
+// many for the same app at overlapping requirements, a few of them
+// interactive and latency-sensitive, most of them long epsilon sweeps.
+// The PR-3 surface was synchronous-batch-only — a caller with one small
+// request was blocked behind whole batches. The public API is now
+// asynchronous submission with admission control:
 //
-//   * one long-lived EvalEngine per application — every request for an
-//     app shares its golden outputs, clone pool, and memoized trial
-//     cache, across batches, for the service's lifetime;
-//   * a shared thread pool of batch workers — independent searches run
-//     concurrently, one request per task. Each search runs its own
-//     trials inline (the engines are pool-less), so cross-request
+//   * submit(Request) -> TicketHandle — a unified Request carries one of
+//     three work variants (plain search, cast-aware pass, epsilon sweep),
+//     a Priority, and an optional deadline. submit() validates the app
+//     name (std::out_of_range before anything is admitted), resolves the
+//     app's long-lived engine, and enqueues; the handle exposes
+//     wait()/get(), status(), cancel(), the per-request EvalStats delta,
+//     and admission/completion timestamps;
+//   * scheduling is a priority queue over a persistent worker pool
+//     (util/priority_scheduler.hpp): workers pop by (priority, admission
+//     order), so a high-priority interactive request submitted behind
+//     twenty queued sweeps runs next, not last. Requests whose deadline
+//     has passed by the time a worker pops them complete exceptionally
+//     with DeadlineExpired instead of consuming the worker; cancel()
+//     takes effect on queued requests (running requests finish);
+//   * one long-lived EvalEngine per app — every request for an app
+//     shares its golden outputs, clone pool, and memoized trial cache
+//     (single-flight, LRU-budgeted), across requests and batches, for
+//     the service's lifetime. Engines are pool-less: each request runs
+//     its trials inline on its scheduler worker, so cross-request
 //     parallelism replaces intra-search parallelism and nothing ever
 //     blocks on a queued task (no pool-in-pool deadlock);
-//   * single-flight trial execution (tuning/eval_engine.hpp) — two
-//     concurrent searches probing the same (input_set, config) run the
-//     kernel once; the second waits and counts as a cache hit;
-//   * an LRU memory budget per engine — long-lived caches stop fitting
-//     in memory eventually; eviction only costs re-runs.
+//   * run(batch) and cast_aware(app, options) survive as thin
+//     submit-all-then-wait wrappers with byte-identical results and
+//     exact aggregate stats — every pre-async caller keeps working.
 //
-// Determinism: each request's TuningResult depends only on its own
-// (app, epsilon, input_sets, options) — by the engine's cache-coherent
-// contract it is bit-identical for any service thread count and any
-// cache/eviction state, and results are returned in request order.
-// EvalStats counters are exact at any thread count (single-flight).
+// Determinism (scheduling-independent): a request's result depends only
+// on its own work payload — never on priority, deadline, admission
+// order, cancellation of OTHER requests, worker count, or cache state
+// (the engine's cache-coherent contract, tuning/search.hpp). QoS knobs
+// reorder work; they cannot change results. Per-request EvalStats deltas
+// are exact at any concurrency: each request runs inline on one worker
+// inside an EvalStatsScope (tuning/eval_engine.hpp), so concurrent
+// requests on a shared engine attribute every counter bump to exactly
+// one ticket.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "tuning/cast_aware.hpp"
 #include "tuning/eval_engine.hpp"
 #include "tuning/search.hpp"
 
+namespace tp::util {
+class PriorityScheduler;
+}
+
 namespace tp::tuning {
 
-/// One tuning request: minimize per-signal precision of `app` subject to
-/// the quality requirement `epsilon` over `input_sets`.
+/// One plain tuning request: minimize per-signal precision of `app`
+/// subject to the quality requirement `epsilon` over `input_sets`.
 struct TuningRequest {
     std::string app;                     // apps::make_app name
     double epsilon = 1e-1;               // output-quality requirement
@@ -54,8 +80,141 @@ struct TuningRequest {
     SearchOptions options{};
 };
 
+/// An epsilon sweep: one search per requirement, in order, on the app's
+/// shared engine — the overlap between the sweep's own searches is served
+/// from cache. Resolves to one TuningResult per epsilon; each is
+/// bit-identical to a standalone TuningRequest at that epsilon.
+struct SweepRequest {
+    std::string app;
+    std::vector<double> epsilons{1e-3, 1e-2, 1e-1};
+    std::vector<unsigned> input_sets{0, 1, 2};
+    SearchOptions options{};
+};
+
+/// Scheduling class of a request. Higher runs first; within a class,
+/// admission order (FIFO). Purely a QoS knob: results are independent of
+/// the priority a request ran at.
+enum class Priority : int {
+    kSweep = 0,       // bulk work: epsilon sweeps, batch backfill
+    kNormal = 1,      // default
+    kInteractive = 2, // small latency-sensitive requests
+};
+
+/// The unified submission payload: what to run (one of the three work
+/// variants), how urgently, and optionally by when it must have STARTED.
+/// A request still queued when `deadline` passes is rejected with
+/// DeadlineExpired at pop time instead of consuming a worker; a request
+/// that starts before the deadline runs to completion.
+struct Request {
+    using Work = std::variant<TuningRequest, CastAwareRequest, SweepRequest>;
+    Work work;
+    Priority priority = Priority::kNormal;
+    std::optional<std::chrono::steady_clock::time_point> deadline{};
+};
+
+/// What a completed request resolves to, matching Request::Work
+/// position-for-position: TuningResult for a plain search, CastAwareResult
+/// for a cast-aware pass, one TuningResult per epsilon for a sweep.
+using RequestResult =
+    std::variant<TuningResult, CastAwareResult, std::vector<TuningResult>>;
+
+/// Ticket lifecycle. Queued -> Running -> Done | Failed on the normal
+/// path; Queued -> Cancelled via cancel(); Queued -> Expired when the
+/// deadline passes before a worker picks the request up. Terminal states
+/// (Done, Failed, Cancelled, Expired) are final.
+enum class RequestStatus {
+    kQueued,
+    kRunning,
+    kDone,
+    kCancelled, // typed rejection: TicketHandle::get() throws RequestCancelled
+    kExpired,   // typed rejection: TicketHandle::get() throws DeadlineExpired
+    kFailed,    // the search threw; get() rethrows the original exception
+};
+
+/// Thrown by TicketHandle::get() for a request cancelled while queued.
+class RequestCancelled final : public std::runtime_error {
+public:
+    explicit RequestCancelled(std::uint64_t id)
+        : std::runtime_error("tuning request #" + std::to_string(id) +
+                             " was cancelled while queued") {}
+};
+
+/// Thrown by TicketHandle::get() for a request still queued past its
+/// deadline.
+class DeadlineExpired final : public std::runtime_error {
+public:
+    explicit DeadlineExpired(std::uint64_t id)
+        : std::runtime_error("tuning request #" + std::to_string(id) +
+                             " missed its deadline while queued") {}
+};
+
+namespace detail {
+struct ServiceTicket;
+}
+
+/// Shared handle to one submitted request. Cheap to copy; every copy
+/// observes the same ticket. Outlives the service safely: a handle held
+/// across service destruction still resolves (the destructor cancels
+/// queued work and drains running work before returning).
+class TicketHandle {
+public:
+    TicketHandle() = default; // empty; valid() is false
+
+    [[nodiscard]] bool valid() const noexcept { return ticket_ != nullptr; }
+
+    /// Monotone submission id, quoted by the typed rejection exceptions.
+    /// Requests submitted from one thread carry increasing ids in their
+    /// admission order.
+    [[nodiscard]] std::uint64_t id() const;
+
+    [[nodiscard]] RequestStatus status() const;
+
+    /// Blocks until the ticket is terminal.
+    void wait() const;
+
+    /// wait(), then: the result for kDone; throws RequestCancelled /
+    /// DeadlineExpired for the typed rejections; rethrows the search's
+    /// exception for kFailed. The reference stays valid while any handle
+    /// to the ticket lives.
+    const RequestResult& get() const;
+
+    /// Variant accessors over get() — throw std::bad_variant_access when
+    /// the request was not of the matching kind.
+    [[nodiscard]] const TuningResult& search_result() const;
+    [[nodiscard]] const CastAwareResult& cast_aware_result() const;
+    [[nodiscard]] const std::vector<TuningResult>& sweep_results() const;
+
+    /// Cancels the request if it is still queued: the ticket becomes
+    /// kCancelled, no kernel ever runs for it, and waiters wake. Returns
+    /// true exactly then. A running request finishes (returns false); on
+    /// an already-terminal ticket this is a no-op (returns false).
+    bool cancel() const;
+
+    /// The exact engine-counter delta this request produced (zeros until
+    /// the ticket is terminal, and for cancelled/expired tickets, which
+    /// run nothing; a kFailed ticket reports the work it did before
+    /// throwing). Exact even when concurrent requests share the engine —
+    /// see EvalStatsScope.
+    [[nodiscard]] EvalStats stats() const;
+
+    /// Admission / terminal-transition timestamps; completion latency is
+    /// completed_at() - submitted_at(). completed_at() is meaningful only
+    /// once terminal.
+    [[nodiscard]] std::chrono::steady_clock::time_point submitted_at() const;
+    [[nodiscard]] std::chrono::steady_clock::time_point completed_at() const;
+
+private:
+    friend class TuningService;
+    explicit TicketHandle(std::shared_ptr<detail::ServiceTicket> ticket)
+        : ticket_(std::move(ticket)) {}
+
+    std::shared_ptr<detail::ServiceTicket> ticket_;
+};
+
 /// A batch's outcome: per-request results in request order, plus the
-/// counter delta the batch produced across all engines it touched.
+/// exact counter delta the batch produced (the sum of its requests'
+/// per-ticket deltas — concurrent foreign traffic on the same engines is
+/// NOT included).
 struct TuningBatchResult {
     std::vector<TuningResult> results;
     EvalStats stats;
@@ -69,8 +228,10 @@ struct TuningBatchResult {
 class TuningService {
 public:
     struct Options {
-        /// Concurrent searches (batch workers); <= 1 runs batches
-        /// serially in request order on the calling thread.
+        /// Scheduler workers — concurrent requests in flight. At least
+        /// one worker always exists (submission is asynchronous even at
+        /// threads = 1; a single worker executes strictly in (priority,
+        /// admission) order).
         unsigned threads = 1;
         /// Trial memoization for every engine the service creates.
         bool memoize = true;
@@ -83,31 +244,42 @@ public:
     explicit TuningService(const Options& options);
     TuningService(const TuningService&) = delete;
     TuningService& operator=(const TuningService&) = delete;
+
+    /// Cancels everything still queued (their waiters observe kCancelled),
+    /// lets running requests finish, then joins the workers. Never
+    /// deadlocks on queued work; results already computed stay
+    /// retrievable through surviving handles.
     ~TuningService();
 
-    /// Runs every request of `batch` and returns results in request
-    /// order. Unknown app names throw std::out_of_range before any
-    /// search is scheduled. Safe to call from multiple threads; note
-    /// that concurrent batches share engines, so TuningBatchResult::stats
-    /// then includes the interleaved work of both.
+    /// Admits one request. Throws std::out_of_range for an unknown app
+    /// name BEFORE anything is enqueued (admission control); otherwise
+    /// returns immediately with the ticket. Thread-safe; requests
+    /// submitted from one thread are admitted in program order. Must not
+    /// be called from inside a request running on this service (a
+    /// saturated scheduler would deadlock on the dependency).
+    TicketHandle submit(Request request);
+
+    /// Synchronous wrapper: submits every request of `batch` at
+    /// Priority::kNormal and waits for all of them. Results in request
+    /// order; stats is the exact sum of the per-request deltas. Unknown
+    /// app names throw std::out_of_range before any request is admitted.
+    /// If a search fails, every request of the batch is still awaited
+    /// before the first error is rethrown. Safe to call from multiple
+    /// threads; concurrent submitters simply share the queue.
     TuningBatchResult run(const std::vector<TuningRequest>& batch);
 
-    /// Cast-aware search (tuning/cast_aware.hpp) through `app_name`'s
-    /// long-lived service engine: the base search reuses configs earlier
-    /// batches probed, and subsequent batched requests for the app reuse
-    /// the probes this pass ran — the caches are shared both ways.
-    /// `options.search.threads` is ignored (the engine is pool-less; the
-    /// pass runs inline on the calling thread). The returned eval_stats is
-    /// the engine's counter delta over the call. Safe to call concurrently
-    /// with run(); as with run()'s batch stats, concurrent work on the
-    /// same app's engine then interleaves into that delta.
+    /// Synchronous wrapper: submits the cast-aware variant at
+    /// Priority::kNormal and waits. The pass runs on `app_name`'s
+    /// long-lived engine, so it shares the service caches with plain
+    /// requests, both ways. The returned eval_stats is the pass's own
+    /// counter delta (exact; see EvalStatsScope).
     CastAwareResult cast_aware(std::string_view app_name,
                                const CastAwareOptions& options);
 
     /// The long-lived engine serving `app_name`, created on first use
     /// (throws std::out_of_range for unknown names). Exposed for
     /// observability — cache_bytes(), stats() — and for callers that mix
-    /// batched and direct searches on the same cache.
+    /// submitted and direct searches on the same cache.
     EvalEngine& engine(std::string_view app_name);
 
     /// Engines created so far (one per distinct app requested).
@@ -118,12 +290,22 @@ public:
 
 private:
     Options options_;
-    std::unique_ptr<util::ThreadPool> pool_; // null when threads <= 1
 
     mutable std::mutex engines_mutex_;
     // Node-stable: engine() hands out references that live as long as
     // the service. Heterogeneous lookup spares a string copy per request.
     std::map<std::string, std::unique_ptr<EvalEngine>, std::less<>> engines_;
+
+    mutable std::mutex tickets_mutex_;
+    std::uint64_t next_ticket_id_ = 0;
+    // Every outstanding ticket, for destructor-time cancellation. Weak:
+    // the queue's closures own the tickets; expired entries are pruned on
+    // submit.
+    std::vector<std::weak_ptr<detail::ServiceTicket>> tickets_;
+
+    // Declared last: destruction drains the workers while the engines and
+    // ticket registry above are still alive.
+    std::unique_ptr<util::PriorityScheduler> scheduler_;
 };
 
 } // namespace tp::tuning

@@ -1,0 +1,114 @@
+// PriorityScheduler — persistent workers over a priority task queue.
+//
+// The FIFO ThreadPool (thread_pool.hpp) serves the tuning engine's trial
+// fan-outs, where every queued task must run and relative order is
+// irrelevant. The TuningService's admission queue needs a different
+// discipline: tasks carry a priority, the next free worker always takes
+// the most urgent admitted task, and ties break by admission order so
+// equal-priority tasks stay FIFO — a small interactive request submitted
+// behind twenty queued epsilon sweeps overtakes all of them.
+//
+// Cancellation and deadlines are deliberately NOT the scheduler's
+// protocol: every admitted task is eventually popped and run, including
+// during destruction. A caller that abandons queued work (TuningService's
+// cancelled or expired tickets) makes the closure itself a cheap no-op
+// tombstone; that keeps the queue free of back-references into caller
+// state and makes the drain-on-destruction guarantee unconditional.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tp::util {
+
+class PriorityScheduler {
+public:
+    /// Spawns `thread_count` workers (at least one). Same mid-spawn
+    /// failure handling as ThreadPool: already-started workers are joined
+    /// before the std::system_error propagates.
+    explicit PriorityScheduler(unsigned thread_count) {
+        if (thread_count == 0) thread_count = 1;
+        workers_.reserve(thread_count);
+        try {
+            for (unsigned i = 0; i < thread_count; ++i) {
+                workers_.emplace_back([this] { worker_loop(); });
+            }
+        } catch (...) {
+            shutdown();
+            throw;
+        }
+    }
+
+    PriorityScheduler(const PriorityScheduler&) = delete;
+    PriorityScheduler& operator=(const PriorityScheduler&) = delete;
+
+    /// Drains: every admitted task is popped and run (priority order)
+    /// before the workers join. Tasks that must not do real work after
+    /// their owner is gone are the tombstone protocol's problem, not ours.
+    ~PriorityScheduler() { shutdown(); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Admits `task`. Higher `priority` runs first; within a priority,
+    /// admission order. Admission order is the queue-lock acquisition
+    /// order, so tasks submitted from one thread keep their program order.
+    void submit(int priority, std::function<void()> task) {
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            queue_.emplace(Key{-priority, next_seq_++}, std::move(task));
+        }
+        cv_.notify_one();
+    }
+
+    /// Tasks admitted but not yet popped (tombstones included).
+    [[nodiscard]] std::size_t pending() const {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        return queue_.size();
+    }
+
+private:
+    // Ascending map order == pop order: most urgent priority first
+    // (negated), oldest admission within it.
+    using Key = std::pair<int, std::uint64_t>;
+
+    void shutdown() {
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& worker : workers_) worker.join();
+        workers_.clear();
+    }
+
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock{mutex_};
+                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return; // stopping_ and drained
+                const auto it = queue_.begin();
+                task = std::move(it->second);
+                queue_.erase(it);
+            }
+            task();
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<Key, std::function<void()>> queue_;
+    std::uint64_t next_seq_ = 0;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace tp::util

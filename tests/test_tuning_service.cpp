@@ -1,12 +1,18 @@
-// TuningService (tuning/service.hpp): batched searches on long-lived
-// per-app EvalEngines. The contract under test: results are bit-identical
-// for any service thread count and any cache/eviction state, EvalStats
-// counters are exact at any thread count (single-flight), the LRU budget
-// is respected, and goldens survive eviction.
+// TuningService (tuning/service.hpp): the synchronous batch surface,
+// which since the async redesign is a thin submit-all-then-wait wrapper
+// over submit(). The contract under test: results are bit-identical for
+// any service thread count and any cache/eviction state, EvalStats
+// counters are exact at any thread count (single-flight + per-ticket
+// scopes), the LRU budget is respected, and goldens survive eviction —
+// i.e. the pre-async behavior, byte for byte, through the wrapper. The
+// async-only surface (priorities, deadlines, cancellation, the scheduler)
+// is covered by test_service_scheduler.cpp; both files carry the ctest
+// label `service`.
 #include "tuning/service.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -287,6 +293,26 @@ TEST(TuningService, CastAwareSharesTheServiceEngineCaches) {
     // cast-aware pass is still fully cached.
     const auto repeat = service.run({request_for("knn", 1e-2)});
     EXPECT_EQ(repeat.stats.kernel_runs, 0u);
+}
+
+// The wrapper and the async path are one cache: a batch warmed through
+// run() serves an interactive submit() of the same request entirely from
+// memory, and the results agree bit-for-bit.
+TEST(TuningService, RunAndSubmitShareTheSameEngineCaches) {
+    TuningService service;
+    const TuningRequest request = request_for("pca", 1e-2);
+    const auto batch_result = service.run({request});
+
+    const tp::tuning::TicketHandle handle = service.submit(tp::tuning::Request{
+        .work = request,
+        .priority = tp::tuning::Priority::kInteractive,
+        .deadline =
+            std::chrono::steady_clock::now() + std::chrono::minutes(5)});
+    EXPECT_TRUE(handle.search_result() == batch_result.results[0]);
+    const EvalStats repeat = handle.stats();
+    EXPECT_EQ(repeat.kernel_runs, 0u);
+    EXPECT_EQ(repeat.golden_runs, 0u);
+    EXPECT_EQ(repeat.cache_hits, repeat.trials);
 }
 
 TEST(TuningService, PerRequestOptionsAreHonored) {
