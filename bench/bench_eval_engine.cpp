@@ -17,6 +17,7 @@
 // Results (per-app counters, aggregate elimination, wall times) go to
 // BENCH_eval_engine.json; BENCH_tuning.json (bench_parallel_tuning) holds
 // the headline pca/dwt numbers tracked across PRs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -37,6 +38,43 @@ using tp::bench::seconds_since;
 
 tp::tuning::SearchOptions options_for(double epsilon) {
     return tp::bench::bench_search_options(epsilon, tp::TypeSystemKind::V2);
+}
+
+/// One full (uncached) epsilon sweep on a fresh engine with the arithmetic
+/// backend pinned via Options::force_emulated. Returns the wall time and
+/// fills `results` with the three per-epsilon tuning results.
+double timed_sweep(tp::apps::App& app, bool force_emulated,
+                   std::vector<tp::tuning::TuningResult>& results) {
+    tp::tuning::EvalEngine engine{
+        app, tp::tuning::EvalEngine::Options{.threads = 1,
+                                             .memoize = false,
+                                             .force_emulated = force_emulated}};
+    results.clear();
+    const auto start = Clock::now();
+    for (const double epsilon : tp::bench::kEpsilons) {
+        results.push_back(
+            tp::tuning::distributed_search(engine, options_for(epsilon)));
+    }
+    return seconds_since(start);
+}
+
+/// Repeated uncached trials at a uniform binary32 config — the scenario
+/// where every routed op maps onto the native fast path. Search sweeps
+/// dilute the backend effect (most V2 candidates are binary8/16/16alt,
+/// emulated on every backend); this isolates the hardware-mappable case
+/// end-to-end through the engine.
+double timed_uniform_trials(tp::apps::App& app, bool force_emulated, int trials,
+                            std::vector<double>& last_output) {
+    tp::tuning::EvalEngine engine{
+        app, tp::tuning::EvalEngine::Options{.threads = 1,
+                                             .memoize = false,
+                                             .force_emulated = force_emulated}};
+    const auto config = app.uniform_config(tp::kBinary32);
+    const auto start = Clock::now();
+    for (int i = 0; i < trials; ++i) {
+        last_output = engine.output(static_cast<unsigned>(i % 3), config);
+    }
+    return seconds_since(start);
 }
 
 } // namespace
@@ -109,10 +147,85 @@ int main() {
                 .str(2));
     }
 
+    // --- Arithmetic-backend A/B ------------------------------------------
+    // Same uncached sweep with the backend pinned per engine through
+    // Options::force_emulated: native fast path vs forced emulation,
+    // interleaved in one process so machine drift hits both sides equally
+    // (best-of-N per side). The searches must return byte-identical
+    // results — the backend contract — which is re-checked here end-to-end.
+    std::printf("\n# backend A/B — uncached sweep, native fast path vs "
+                "Options::force_emulated\n\n");
+    std::printf("%-8s %-10s %-12s %-9s %-10s %-12s %-9s %s\n", "app",
+                "search_n", "search_e", "speedup", "b32_n", "b32_e", "speedup",
+                "identical");
+
+    constexpr int kBackendReps = 3;
+    auto backend_json = tp::bench::Json::array();
+    for (const std::string& app_name : {std::string{"jacobi"},
+                                        std::string{"svm"},
+                                        std::string{"conv"}}) {
+        auto app = tp::apps::make_app(app_name);
+        std::vector<tp::tuning::TuningResult> native_results;
+        std::vector<tp::tuning::TuningResult> emulated_results;
+        double native_best = 0.0;
+        double emulated_best = 0.0;
+        bool matches = true;
+        for (int rep = 0; rep < kBackendReps; ++rep) {
+            const double native_s = timed_sweep(*app, false, native_results);
+            const double emulated_s = timed_sweep(*app, true, emulated_results);
+            native_best = rep == 0 ? native_s : std::min(native_best, native_s);
+            emulated_best =
+                rep == 0 ? emulated_s : std::min(emulated_best, emulated_s);
+            for (std::size_t e = 0; e < native_results.size(); ++e) {
+                matches = matches && identical_results(native_results[e],
+                                                       emulated_results[e]);
+            }
+        }
+        // Uniform-binary32 trials: the all-native-format case.
+        constexpr int kUniformTrials = 100;
+        std::vector<double> native_output;
+        std::vector<double> emulated_output;
+        double trials_native_best = 0.0;
+        double trials_emulated_best = 0.0;
+        for (int rep = 0; rep < kBackendReps; ++rep) {
+            const double native_s =
+                timed_uniform_trials(*app, false, kUniformTrials, native_output);
+            const double emulated_s =
+                timed_uniform_trials(*app, true, kUniformTrials, emulated_output);
+            trials_native_best =
+                rep == 0 ? native_s : std::min(trials_native_best, native_s);
+            trials_emulated_best =
+                rep == 0 ? emulated_s : std::min(trials_emulated_best, emulated_s);
+            matches = matches && native_output == emulated_output;
+        }
+
+        const double speedup = native_best > 0.0 ? emulated_best / native_best : 0.0;
+        const double trials_speedup = trials_native_best > 0.0
+                                          ? trials_emulated_best / trials_native_best
+                                          : 0.0;
+        all_identical = all_identical && matches;
+        std::printf("%-8s %-10.3f %-12.3f %-9.2f %-10.3f %-12.3f %-9.2f %s\n",
+                    app_name.c_str(), native_best, emulated_best, speedup,
+                    trials_native_best, trials_emulated_best, trials_speedup,
+                    matches ? "yes" : "NO");
+        backend_json.item_raw(
+            tp::bench::Json::object()
+                .field("app", app_name)
+                .field("search_native_wall_seconds", native_best)
+                .field("search_forced_emulated_wall_seconds", emulated_best)
+                .field("search_speedup_native_vs_emulated", speedup)
+                .field("uniform_b32_native_wall_seconds", trials_native_best)
+                .field("uniform_b32_forced_emulated_wall_seconds", trials_emulated_best)
+                .field("uniform_b32_speedup_native_vs_emulated", trials_speedup)
+                .field("bit_identical", matches)
+                .str(2));
+    }
+
     const auto doc = tp::bench::Json::object()
                          .field("bench", "bench_eval_engine")
                          .field("scenario", "epsilon sweep 1e-3/1e-2/1e-1 on a shared engine")
-                         .raw("apps", apps_json.str(2));
+                         .raw("apps", apps_json.str(2))
+                         .raw("backend_ab", backend_json.str(2));
     std::ofstream out{"BENCH_eval_engine.json"};
     out << doc.str() << "\n";
     std::printf("\nwrote BENCH_eval_engine.json\n");

@@ -1,15 +1,26 @@
 // Supports the paper's Section III-A performance claim: FlexFloat's
-// compute-on-native-then-sanitize strategy "produces binaries that are
+// compute-on-native-then-re-round strategy "produces binaries that are
 // fast to execute", unlike SoftFloat-style emulation which performs every
-// operation in (integer) software. Both backends are bit-exact; this
-// bench measures their throughput against native float on the same
-// dot-product micro-kernel.
+// operation in (integer) software. Since the arithmetic-backend seam
+// (flexfloat/arith_backend.hpp) landed, hardware-mappable formats
+// additionally re-round with one FPU conversion instead of the integer
+// sanitize; this bench measures all three tiers — raw hardware FP, the
+// FlexFloat fast path, and the forced-emulated path — plus softfloat, on
+// two micro-kernels:
+//
+//   dot — accumulating dot product; a serial dependence through the
+//         accumulator makes it LATENCY-bound, the worst case for the extra
+//         convert in the fast path's add chain;
+//   map — independent per-element fma-shaped update (out = x * y + x)
+//         into a persistent output vector; THROUGHPUT-bound, where the
+//         fast path's per-op cost shows directly.
 //
 // Harness-based (no Google Benchmark dependency — ROADMAP open item):
-// each backend's kernel is warmed up once, then re-run until a minimum
-// wall time has accumulated; the per-element time is total elapsed over
-// total elements. Results are printed and written to
-// BENCH_flexfloat_overhead.json (CI artifact).
+// each kernel is warmed up once, then re-run until a minimum wall time has
+// accumulated; the per-element time is total elapsed over total elements.
+// Results are printed and written to BENCH_flexfloat_overhead.json (CI
+// artifact), including each series' resolved backend and the fast path's
+// speedup over forced emulation.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -17,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "flexfloat/arith_backend.hpp"
 #include "flexfloat/flexfloat.hpp"
 #include "flexfloat/flexfloat_dyn.hpp"
 #include "harness.hpp"
@@ -31,12 +43,16 @@ using Clock = std::chrono::steady_clock;
 constexpr std::size_t kN = 1024;
 /// Each kernel is timed for at least this long; long enough to swamp the
 /// clock granularity, short enough that the slowest backend (softfloat,
-/// ~100x native) keeps the bench under a few seconds.
+/// ~40x native) keeps the bench under a few seconds.
 constexpr double kMinSeconds = 0.05;
 
 /// Defeats dead-code elimination of the measured loops without an
 /// optimizer-visible data dependency on the timing path.
 volatile double g_sink = 0.0;
+
+/// Tells the optimizer "memory was read here", so stores into the map
+/// kernels' output vectors cannot be dropped.
+inline void clobber_memory() { asm volatile("" ::: "memory"); }
 
 std::vector<double> make_inputs(std::uint64_t seed) {
     tp::util::Xoshiro256 rng{seed};
@@ -46,15 +62,19 @@ std::vector<double> make_inputs(std::uint64_t seed) {
 }
 
 struct Measurement {
-    std::string name;
+    std::string series;  // e.g. "flexfloat_binary32"
+    std::string kernel;  // "dot" | "map"
+    std::string backend; // resolved: "hardware", "native_f32", "emulated", ...
     double ns_per_element = 0.0;
+    double speedup_vs_emulated = 0.0; // fast path vs its forced twin; 0 = n/a
     std::size_t iterations = 0;
 };
 
-/// Runs `kernel` (one pass over kN elements returning its accumulator)
+/// Runs `kernel` (one pass over kN elements returning a result double)
 /// until kMinSeconds has elapsed and reports ns per element.
 template <typename Kernel>
-Measurement measure(std::string name, Kernel kernel) {
+Measurement measure(std::string series, std::string kernel_name,
+                    std::string backend, Kernel kernel) {
     g_sink = kernel(); // warm-up: faults, caches, lazy init
     std::size_t iterations = 0;
     double elapsed = 0.0;
@@ -65,73 +85,135 @@ Measurement measure(std::string name, Kernel kernel) {
         elapsed = tp::bench::seconds_since(start);
     } while (elapsed < kMinSeconds);
     Measurement m;
-    m.name = std::move(name);
+    m.series = std::move(series);
+    m.kernel = std::move(kernel_name);
+    m.backend = std::move(backend);
     m.iterations = iterations;
     m.ns_per_element =
         1e9 * elapsed / (static_cast<double>(iterations) * static_cast<double>(kN));
     return m;
 }
 
-double native_float_kernel(const std::vector<double>& xs,
-                           const std::vector<double>& ys) {
-    float acc = 0.0f;
-    for (std::size_t i = 0; i < kN; ++i) {
-        acc += static_cast<float>(xs[i]) * static_cast<float>(ys[i]);
+/// Measures `kernel` on the resolved backend and again under a forced
+/// emulated scope, records the speedup on the fast series, and appends
+/// both measurements.
+template <typename Kernel>
+void measure_both_backends(std::vector<Measurement>& results,
+                           const std::string& series,
+                           const std::string& kernel_name, tp::FpFormat format,
+                           Kernel kernel) {
+    Measurement emulated;
+    {
+        const tp::arith::ScopedForceEmulated scope;
+        emulated = measure(series + "_forced_emulated", kernel_name,
+                           "emulated", kernel);
     }
-    return static_cast<double>(acc);
+    Measurement fast =
+        measure(series, kernel_name,
+                std::string{tp::name_of(tp::arith::resolve(format))}, kernel);
+    fast.speedup_vs_emulated = emulated.ns_per_element / fast.ns_per_element;
+    results.push_back(std::move(fast));
+    results.push_back(std::move(emulated));
 }
 
+// --- raw hardware FP (the speed-of-light reference) -------------------------
+
+template <typename T>
+void measure_raw_native(std::vector<Measurement>& results,
+                        const std::string& series,
+                        const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+    std::vector<T> fx(kN), fy(kN), out(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        fx[i] = static_cast<T>(xs[i]);
+        fy[i] = static_cast<T>(ys[i]);
+    }
+    results.push_back(measure(series, "dot", "hardware", [&fx, &fy] {
+        T acc{};
+        for (std::size_t i = 0; i < kN; ++i) acc += fx[i] * fy[i];
+        return static_cast<double>(acc);
+    }));
+    results.push_back(measure(series, "map", "hardware", [&fx, &fy, &out] {
+        for (std::size_t i = 0; i < kN; ++i) out[i] = fx[i] * fy[i] + fx[i];
+        clobber_memory();
+        return static_cast<double>(out[kN - 1]);
+    }));
+}
+
+// --- flexfloat<E, M>: fast path vs forced emulation -------------------------
+
 template <int E, int M>
-Measurement measure_flexfloat(const char* name, const std::vector<double>& xs,
-                              const std::vector<double>& ys) {
-    std::vector<tp::flexfloat<E, M>> fx(kN);
-    std::vector<tp::flexfloat<E, M>> fy(kN);
+void measure_flexfloat(std::vector<Measurement>& results, const char* name,
+                       const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+    using FF = tp::flexfloat<E, M>;
+    std::vector<FF> fx(kN), fy(kN), out(kN);
     for (std::size_t i = 0; i < kN; ++i) {
         fx[i] = xs[i];
         fy[i] = ys[i];
     }
-    return measure(name, [&fx, &fy] {
-        tp::flexfloat<E, M> acc = 0.0;
-        for (std::size_t i = 0; i < kN; ++i) {
-            acc += fx[i] * fy[i];
-        }
+    const std::string series = std::string{"flexfloat_"} + name;
+    measure_both_backends(results, series, "dot", FF::format(), [&fx, &fy] {
+        FF acc = 0.0;
+        for (std::size_t i = 0; i < kN; ++i) acc += fx[i] * fy[i];
         return static_cast<double>(acc);
     });
+    measure_both_backends(results, series, "map", FF::format(),
+                          [&fx, &fy, &out] {
+                              for (std::size_t i = 0; i < kN; ++i) {
+                                  out[i] = fx[i] * fy[i] + fx[i];
+                              }
+                              clobber_memory();
+                              return static_cast<double>(out[kN - 1]);
+                          });
 }
 
-Measurement measure_flexfloat_dyn(const std::vector<double>& xs,
-                                  const std::vector<double>& ys) {
-    std::vector<tp::FlexFloatDyn> fx;
-    std::vector<tp::FlexFloatDyn> fy;
+void measure_flexfloat_dyn(std::vector<Measurement>& results,
+                           const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+    std::vector<tp::FlexFloatDyn> fx, fy, out;
     for (std::size_t i = 0; i < kN; ++i) {
         fx.emplace_back(xs[i], tp::kBinary16);
         fy.emplace_back(ys[i], tp::kBinary16);
+        out.emplace_back(0.0, tp::kBinary16);
     }
-    return measure("flexfloat_dyn_binary16", [&fx, &fy] {
-        tp::FlexFloatDyn acc{0.0, tp::kBinary16};
-        for (std::size_t i = 0; i < kN; ++i) {
-            acc += fx[i] * fy[i];
-        }
-        return acc.value();
-    });
+    measure_both_backends(results, "flexfloat_dyn_binary16", "dot",
+                          tp::kBinary16, [&fx, &fy] {
+                              tp::FlexFloatDyn acc{0.0, tp::kBinary16};
+                              for (std::size_t i = 0; i < kN; ++i) {
+                                  acc += fx[i] * fy[i];
+                              }
+                              return acc.value();
+                          });
+    measure_both_backends(results, "flexfloat_dyn_binary16", "map",
+                          tp::kBinary16, [&fx, &fy, &out] {
+                              for (std::size_t i = 0; i < kN; ++i) {
+                                  out[i] = fx[i] * fy[i] + fx[i];
+                              }
+                              clobber_memory();
+                              return out[kN - 1].value();
+                          });
 }
 
-Measurement measure_softfloat(const std::vector<double>& xs,
-                              const std::vector<double>& ys) {
+void measure_softfloat(std::vector<Measurement>& results,
+                       const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
     const tp::FpFormat f = tp::kBinary16;
-    std::vector<std::uint64_t> fx(kN);
-    std::vector<std::uint64_t> fy(kN);
+    std::vector<std::uint64_t> fx(kN), fy(kN);
     for (std::size_t i = 0; i < kN; ++i) {
         fx[i] = tp::encode(xs[i], f);
         fy[i] = tp::encode(ys[i], f);
     }
-    return measure("softfloat_binary16", [&fx, &fy, f] {
-        std::uint64_t acc = 0;
-        for (std::size_t i = 0; i < kN; ++i) {
-            acc = tp::softfloat::add(acc, tp::softfloat::mul(fx[i], fy[i], f), f);
-        }
-        return tp::decode(acc, f);
-    });
+    results.push_back(measure("softfloat_binary16", "dot", "softfloat",
+                              [&fx, &fy, f] {
+                                  std::uint64_t acc = 0;
+                                  for (std::size_t i = 0; i < kN; ++i) {
+                                      acc = tp::softfloat::add(
+                                          acc, tp::softfloat::mul(fx[i], fy[i], f),
+                                          f);
+                                  }
+                                  return tp::decode(acc, f);
+                              }));
 }
 
 } // namespace
@@ -141,38 +223,65 @@ int main() {
     const auto ys = make_inputs(2);
 
     std::vector<Measurement> results;
-    results.push_back(
-        measure("native_float", [&xs, &ys] { return native_float_kernel(xs, ys); }));
-    results.push_back(measure_flexfloat<8, 23>("flexfloat_binary32", xs, ys));
-    results.push_back(measure_flexfloat<5, 10>("flexfloat_binary16", xs, ys));
-    results.push_back(measure_flexfloat<8, 7>("flexfloat_binary16alt", xs, ys));
-    results.push_back(measure_flexfloat<5, 2>("flexfloat_binary8", xs, ys));
-    results.push_back(measure_flexfloat_dyn(xs, ys));
-    results.push_back(measure_softfloat(xs, ys));
+    measure_raw_native<double>(results, "native_double", xs, ys);
+    measure_raw_native<float>(results, "native_float", xs, ys);
+#if TP_NATIVE_F16
+    measure_raw_native<_Float16>(results, "native_float16", xs, ys);
+#endif
+    measure_flexfloat<11, 52>(results, "binary64", xs, ys);
+    measure_flexfloat<8, 23>(results, "binary32", xs, ys);
+    measure_flexfloat<5, 10>(results, "binary16", xs, ys);
+    measure_flexfloat<8, 7>(results, "binary16alt", xs, ys);
+    measure_flexfloat<5, 2>(results, "binary8", xs, ys);
+    measure_flexfloat_dyn(results, xs, ys);
+    measure_softfloat(results, xs, ys);
 
-    const double native_ns = results.front().ns_per_element;
-    std::printf("# FlexFloat emulation overhead — %zu-element dot product, "
-                "min %.0f ms per backend\n\n",
+    // The classic reference point: raw single-precision hardware, per kernel.
+    const auto native_ns = [&results](const std::string& kernel) {
+        for (const Measurement& m : results) {
+            if (m.series == "native_float" && m.kernel == kernel) {
+                return m.ns_per_element;
+            }
+        }
+        return 0.0;
+    };
+
+    std::printf("# FlexFloat emulation overhead — %zu-element kernels, "
+                "min %.0f ms per series\n",
                 kN, 1e3 * kMinSeconds);
-    std::printf("%-24s %12s %14s %12s\n", "backend", "ns/element",
-                "vs native", "iterations");
+    std::printf("# dot = latency-bound accumulation, map = throughput-bound "
+                "element-wise mul+add\n\n");
+    std::printf("%-36s %-4s %12s %11s %11s  %s\n", "series", "krnl",
+                "ns/element", "vs native", "vs emul", "backend");
     auto backends = tp::bench::Json::array();
     for (const Measurement& m : results) {
-        const double slowdown = m.ns_per_element / native_ns;
-        std::printf("%-24s %12.2f %13.1fx %12zu\n", m.name.c_str(),
-                    m.ns_per_element, slowdown, m.iterations);
-        backends.item_raw(tp::bench::Json::object()
-                              .field("backend", m.name)
-                              .field("ns_per_element", m.ns_per_element)
-                              .field("slowdown_vs_native", slowdown)
-                              .field("iterations", m.iterations)
-                              .str(2));
+        const double slowdown = m.ns_per_element / native_ns(m.kernel);
+        char speedup[32] = "-";
+        if (m.speedup_vs_emulated > 0.0) {
+            std::snprintf(speedup, sizeof speedup, "%.2fx",
+                          m.speedup_vs_emulated);
+        }
+        std::printf("%-36s %-4s %12.2f %10.1fx %11s  %s\n", m.series.c_str(),
+                    m.kernel.c_str(), m.ns_per_element, slowdown, speedup,
+                    m.backend.c_str());
+        auto entry = tp::bench::Json::object()
+                         .field("series", m.series)
+                         .field("kernel", m.kernel)
+                         .field("resolved_backend", m.backend)
+                         .field("ns_per_element", m.ns_per_element)
+                         .field("slowdown_vs_native_float", slowdown)
+                         .field("iterations", m.iterations);
+        if (m.speedup_vs_emulated > 0.0) {
+            entry.field("speedup_vs_emulated", m.speedup_vs_emulated);
+        }
+        backends.item_raw(entry.str(2));
     }
 
     const auto doc = tp::bench::Json::object()
                          .field("bench", "bench_flexfloat_overhead")
                          .field("elements", kN)
-                         .field("min_seconds_per_backend", kMinSeconds)
+                         .field("min_seconds_per_series", kMinSeconds)
+                         .field("native_f16_available", bool(TP_NATIVE_F16))
                          .raw("backends", backends.str(2))
                          .str();
     std::ofstream out{"BENCH_flexfloat_overhead.json"};

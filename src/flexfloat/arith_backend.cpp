@@ -1,0 +1,15 @@
+#include "flexfloat/arith_backend.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tp::arith::detail {
+
+bool read_env_force_emulated() noexcept {
+    const char* value = std::getenv("TP_FORCE_EMULATED");
+    if (value == nullptr) return false;
+    return !(std::strcmp(value, "") == 0 || std::strcmp(value, "0") == 0 ||
+             std::strcmp(value, "false") == 0 || std::strcmp(value, "off") == 0);
+}
+
+} // namespace tp::arith::detail

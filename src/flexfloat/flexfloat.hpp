@@ -15,12 +15,18 @@
 //     giving the programmer fine-grained control over intermediate formats;
 //   * conversion to native FP types is explicit (`static_cast<double>(x)`);
 //   * construction *from* native FP types is implicit, so literals work.
+//
+// Arithmetic-backend seam: every rounded operation below delegates to
+// tp::arith (flexfloat/arith_backend.hpp) — hardware-mappable formats
+// (binary64/binary32/binary16) execute natively with a conversion at the
+// format boundary, everything else takes the emulated sanitize path, and
+// the two are bit-identical by contract. Stats recording stays here, so it
+// fires the same on either backend.
 #pragma once
 
 #include <ostream>
 
-#include "flexfloat/fma_exact.hpp"
-#include "flexfloat/sanitize.hpp"
+#include "flexfloat/arith_backend.hpp"
 #include "flexfloat/stats.hpp"
 #include "types/encoding.hpp"
 #include "types/format.hpp"
@@ -47,7 +53,7 @@ public:
     // Implicit construction from the standard FP types, so FP literals keep
     // their usual infix ergonomics (paper: "constructors with implicit
     // semantics are provided for standard FP types").
-    flexfloat(double value) noexcept : value_(detail::sanitize(value, format())) {}
+    flexfloat(double value) noexcept : value_(arith::cast(value, format())) {}
     flexfloat(float value) noexcept : flexfloat(static_cast<double>(value)) {}
     flexfloat(long double value) noexcept : flexfloat(static_cast<double>(value)) {}
     // Integer literals would otherwise be ambiguous between the three FP
@@ -59,8 +65,8 @@ public:
     /// registry because on the transprecision FPU it is a real instruction.
     template <int E2, int M2>
     explicit flexfloat(const flexfloat<E2, M2>& other) noexcept
-        : value_(detail::sanitize(static_cast<double>(other), format())) {
-        if (thread_stats().enabled()) {
+        : value_(arith::cast(static_cast<double>(other), format())) {
+        if (stats_enabled()) {
             thread_stats().record_cast(FpFormat{E2, M2}, format());
         }
     }
@@ -81,24 +87,19 @@ public:
     }
 
     friend flexfloat operator+(const flexfloat& a, const flexfloat& b) noexcept {
-        record(FpOp::Add);
-        return make(a.value_ + b.value_);
+        return apply(FpOp::Add, a, b);
     }
     friend flexfloat operator-(const flexfloat& a, const flexfloat& b) noexcept {
-        record(FpOp::Sub);
-        return make(a.value_ - b.value_);
+        return apply(FpOp::Sub, a, b);
     }
     friend flexfloat operator*(const flexfloat& a, const flexfloat& b) noexcept {
-        record(FpOp::Mul);
-        return make(a.value_ * b.value_);
+        return apply(FpOp::Mul, a, b);
     }
     friend flexfloat operator/(const flexfloat& a, const flexfloat& b) noexcept {
-        record(FpOp::Div);
-        return make(a.value_ / b.value_);
+        return apply(FpOp::Div, a, b);
     }
     friend flexfloat operator-(const flexfloat& a) noexcept {
-        record(FpOp::Neg);
-        return make(-a.value_);
+        return apply(FpOp::Neg, a, a);
     }
 
     flexfloat& operator+=(const flexfloat& rhs) noexcept { return *this = *this + rhs; }
@@ -134,32 +135,34 @@ public:
     }
 
     friend flexfloat sqrt(const flexfloat& a) noexcept {
-        record(FpOp::Sqrt);
-        return make(__builtin_sqrt(a.value_));
+        return apply(FpOp::Sqrt, a, a);
     }
-    /// Fused multiply-add with a single rounding: a * b + c.
-    /// No binary64 shortcut exists for fma (see fma_exact.hpp): the exact
-    /// integer path is used for every format.
+    /// Fused multiply-add with a single rounding: a * b + c. No binary64
+    /// shortcut exists for an emulated fma (see fma_exact.hpp); hardware
+    /// fma/fmaf serve the native binary64/binary32 backends.
     friend flexfloat fma(const flexfloat& a, const flexfloat& b,
                          const flexfloat& c) noexcept {
         record(FpOp::Fma);
-        flexfloat result;
-        result.value_ = detail::fma_exact(a.value_, b.value_, c.value_, format());
-        return result;
+        return from_rounded(arith::fma(a.value_, b.value_, c.value_, format()));
     }
     friend flexfloat abs(const flexfloat& a) noexcept {
-        record(FpOp::Abs);
-        return make(__builtin_fabs(a.value_));
+        return apply(FpOp::Abs, a, a);
     }
 
 private:
-    static flexfloat make(double raw) noexcept {
+    static flexfloat apply(FpOp op, const flexfloat& a,
+                           const flexfloat& b) noexcept {
+        record(op);
+        return from_rounded(arith::arith(op, a.value_, b.value_, format()));
+    }
+    /// Adopts a value the arithmetic backend already rounded to format().
+    static flexfloat from_rounded(double rounded) noexcept {
         flexfloat result;
-        result.value_ = detail::sanitize(raw, format());
+        result.value_ = rounded;
         return result;
     }
     static void record(FpOp op) noexcept {
-        if (thread_stats().enabled()) thread_stats().record_op(format(), op);
+        if (stats_enabled()) thread_stats().record_op(format(), op);
     }
 
     double value_ = 0.0;

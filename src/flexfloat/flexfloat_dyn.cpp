@@ -1,9 +1,8 @@
 #include "flexfloat/flexfloat_dyn.hpp"
 
-#include <cmath>
 #include <ostream>
 
-#include "flexfloat/fma_exact.hpp"
+#include "flexfloat/arith_backend.hpp"
 #include "types/encoding.hpp"
 
 namespace tp {
@@ -18,18 +17,20 @@ FlexFloatDyn FlexFloatDyn::from_bits(std::uint64_t bits, FpFormat format) noexce
 }
 
 FlexFloatDyn FlexFloatDyn::cast_to(FpFormat target) const noexcept {
-    if (thread_stats().enabled()) thread_stats().record_cast(format_, target);
-    return FlexFloatDyn{value_, target};
+    if (stats_enabled()) thread_stats().record_cast(format_, target);
+    return from_rounded(arith::cast(value_, target), target);
 }
 
 FlexFloatDyn sqrt(const FlexFloatDyn& a) noexcept {
     FlexFloatDyn::record(a.format_, FpOp::Sqrt);
-    return FlexFloatDyn{std::sqrt(a.value_), a.format_};
+    return FlexFloatDyn::from_rounded(
+        arith::arith(FpOp::Sqrt, a.value_, a.value_, a.format_), a.format_);
 }
 
 FlexFloatDyn abs(const FlexFloatDyn& a) noexcept {
     FlexFloatDyn::record(a.format_, FpOp::Abs);
-    return FlexFloatDyn{std::fabs(a.value_), a.format_};
+    return FlexFloatDyn::from_rounded(
+        arith::arith(FpOp::Abs, a.value_, a.value_, a.format_), a.format_);
 }
 
 FlexFloatDyn fma(const FlexFloatDyn& a, const FlexFloatDyn& b,
@@ -37,10 +38,8 @@ FlexFloatDyn fma(const FlexFloatDyn& a, const FlexFloatDyn& b,
     assert(a.format() == b.format() && b.format() == c.format() &&
            "mixed-format fma requires explicit casts");
     FlexFloatDyn::record(a.format_, FpOp::Fma);
-    FlexFloatDyn result;
-    result.value_ = detail::fma_exact(a.value_, b.value_, c.value_, a.format_);
-    result.format_ = a.format_;
-    return result;
+    return FlexFloatDyn::from_rounded(
+        arith::fma(a.value_, b.value_, c.value_, a.format_), a.format_);
 }
 
 std::ostream& operator<<(std::ostream& os, const FlexFloatDyn& x) {

@@ -9,9 +9,11 @@
 // platform can change formats between runs without recompilation, at the
 // cost of one descriptor per value.
 //
-// Semantics are identical to flexfloat<E, M>: every operation computes on
-// binary64 and sanitizes the result to the value's format; operands of an
-// arithmetic operation must share one format (asserted), and casts are
+// Semantics are identical to flexfloat<E, M>: every operation routes
+// through the shared arithmetic backend (flexfloat/arith_backend.hpp),
+// which rounds the result to the value's format — natively for
+// hardware-mappable formats, via binary64 + sanitize otherwise; operands of
+// an arithmetic operation must share one format (asserted), and casts are
 // explicit via cast_to().
 #pragma once
 
@@ -19,18 +21,24 @@
 #include <cstdint>
 #include <iosfwd>
 
-#include "flexfloat/sanitize.hpp"
+#include "flexfloat/arith_backend.hpp"
 #include "flexfloat/stats.hpp"
 #include "types/format.hpp"
 
 namespace tp {
+
+namespace sim {
+class TpValue;
+class TpArray; // routed through the backend seam too; see sim/context.hpp
+class TpContext;
+}
 
 class FlexFloatDyn {
 public:
     constexpr FlexFloatDyn() noexcept = default;
 
     FlexFloatDyn(double value, FpFormat format) noexcept
-        : value_(detail::sanitize(value, format)), format_(format) {}
+        : value_(arith::cast(value, format)), format_(format) {}
 
     [[nodiscard]] double value() const noexcept { return value_; }
     [[nodiscard]] FpFormat format() const noexcept { return format_; }
@@ -42,20 +50,21 @@ public:
     [[nodiscard]] FlexFloatDyn cast_to(FpFormat target) const noexcept;
 
     friend FlexFloatDyn operator+(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
-        return binary_op(a, b, FpOp::Add, a.value_ + b.value_);
+        return binary_op(a, b, FpOp::Add);
     }
     friend FlexFloatDyn operator-(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
-        return binary_op(a, b, FpOp::Sub, a.value_ - b.value_);
+        return binary_op(a, b, FpOp::Sub);
     }
     friend FlexFloatDyn operator*(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
-        return binary_op(a, b, FpOp::Mul, a.value_ * b.value_);
+        return binary_op(a, b, FpOp::Mul);
     }
     friend FlexFloatDyn operator/(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
-        return binary_op(a, b, FpOp::Div, a.value_ / b.value_);
+        return binary_op(a, b, FpOp::Div);
     }
     friend FlexFloatDyn operator-(const FlexFloatDyn& a) noexcept {
         record(a.format_, FpOp::Neg);
-        return FlexFloatDyn{-a.value_, a.format_};
+        return from_rounded(arith::arith(FpOp::Neg, a.value_, a.value_, a.format_),
+                            a.format_);
     }
 
     FlexFloatDyn& operator+=(const FlexFloatDyn& rhs) noexcept { return *this = *this + rhs; }
@@ -95,16 +104,30 @@ public:
                             const FlexFloatDyn& c) noexcept;
 
 private:
+    friend class sim::TpValue;
+    friend class sim::TpArray;
+    friend class sim::TpContext;
+
+    /// Adopts a value the arithmetic backend already rounded to `format` —
+    /// skips the construction-time re-round. Callers promise the invariant.
+    static FlexFloatDyn from_rounded(double value, FpFormat format) noexcept {
+        assert(value != value || value == detail::sanitize(value, format));
+        FlexFloatDyn result;
+        result.value_ = value;
+        result.format_ = format;
+        return result;
+    }
+
     static FlexFloatDyn binary_op(const FlexFloatDyn& a, const FlexFloatDyn& b,
-                                  FpOp op, double raw) noexcept {
+                                  FpOp op) noexcept {
         assert(a.format_ == b.format_ &&
                "mixed-format arithmetic requires an explicit cast");
-        (void)b;
         record(a.format_, op);
-        return FlexFloatDyn{raw, a.format_};
+        return from_rounded(arith::arith(op, a.value_, b.value_, a.format_),
+                            a.format_);
     }
     static void record(FpFormat format, FpOp op) noexcept {
-        if (thread_stats().enabled()) thread_stats().record_op(format, op);
+        if (stats_enabled()) thread_stats().record_op(format, op);
     }
     static void record_cmp(const FlexFloatDyn& a, const FlexFloatDyn& b) noexcept {
         assert(a.format_ == b.format_);

@@ -104,6 +104,14 @@ void StatsRegistry::print_report(std::ostream& os) const {
     }
 }
 
+void StatsRegistry::set_enabled(bool enabled) noexcept {
+    enabled_ = enabled;
+    // Keep the hot-path mirror in sync — but only for the calling thread's
+    // registry; toggling a detached StatsRegistry instance must not change
+    // what this thread's FlexFloat operations record into.
+    if (this == &thread_stats()) detail::t_stats_enabled = enabled;
+}
+
 StatsRegistry& thread_stats() noexcept {
     thread_local StatsRegistry registry;
     return registry;

@@ -39,6 +39,21 @@ inline constexpr std::size_t kFpOpCount = 11;
 /// True while at least one VectorRegionGuard is alive on this thread.
 [[nodiscard]] bool in_vector_region() noexcept;
 
+namespace detail {
+/// Mirror of thread_stats().enabled(), maintained by
+/// StatsRegistry::set_enabled. Constant-initialized, so the hot-path check
+/// below compiles to one TLS load and a branch — no function call, no TLS
+/// init guard on the per-operation fast path.
+inline thread_local bool t_stats_enabled = false;
+} // namespace detail
+
+/// Whether the calling thread's registry is currently collecting — THE
+/// per-operation hot-path check. Exactly equivalent to
+/// thread_stats().enabled(), but cheap enough for the arithmetic fast path.
+[[nodiscard]] inline bool stats_enabled() noexcept {
+    return detail::t_stats_enabled;
+}
+
 /// RAII tag for a manually-identified vectorizable program section.
 /// Nesting is allowed; the section ends when the outermost guard dies.
 class VectorRegionGuard {
@@ -74,7 +89,9 @@ struct OpCounts {
 /// state, so instrumented and parallel code can coexist without locks.
 class StatsRegistry {
 public:
-    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+    /// Also updates the stats_enabled() mirror when `this` is the calling
+    /// thread's registry (defined out of line for that check).
+    void set_enabled(bool enabled) noexcept;
     [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
     void reset() noexcept;

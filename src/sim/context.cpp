@@ -1,25 +1,50 @@
 #include "sim/context.hpp"
 
+#include "flexfloat/arith_backend.hpp"
 #include "sim/vectorize.hpp"
 
 namespace tp::sim {
 
+namespace {
+
+/// One rounded op through the backend seam, honoring the owning context's
+/// force_emulated policy (the arith entry points already honor the
+/// process/thread knobs).
+double routed(const TpContext* ctx, FpOp op, double a, double b,
+              FpFormat format) noexcept {
+    return ctx->force_emulated() ? arith::emulated(op, a, b, format)
+                                 : arith::arith(op, a, b, format);
+}
+
+void record_op(FpFormat format, FpOp op) noexcept {
+    if (stats_enabled()) thread_stats().record_op(format, op);
+}
+
+} // namespace
+
 // --- TpValue ---------------------------------------------------------------
 
-TpValue TpValue::binary(FpOp op, const TpValue& a, const TpValue& b,
-                        FlexFloatDyn result) {
+TpValue TpValue::binary(FpOp op, const TpValue& a, const TpValue& b) {
     TpContext* ctx = a.ctx_ != nullptr ? a.ctx_ : b.ctx_;
     assert(ctx != nullptr && "TpValue arithmetic requires a live context");
     assert((a.ctx_ == nullptr || b.ctx_ == nullptr || a.ctx_ == b.ctx_) &&
            "operands belong to different contexts");
-    const std::int32_t id = ctx->emit_fp(op, result.format(), a.id_, b.id_);
-    return TpValue{ctx, result, id};
+    assert(a.format() == b.format() &&
+           "mixed-format arithmetic requires an explicit cast");
+    const FpFormat fmt = a.format();
+    record_op(fmt, op);
+    const double r = routed(ctx, op, a.to_double(), b.to_double(), fmt);
+    const std::int32_t id = ctx->emit_fp(op, fmt, a.id_, b.id_);
+    return TpValue{ctx, FlexFloatDyn::from_rounded(r, fmt), id};
 }
 
-TpValue TpValue::unary(FpOp op, const TpValue& a, FlexFloatDyn result) {
+TpValue TpValue::unary(FpOp op, const TpValue& a) {
     assert(a.ctx_ != nullptr);
-    const std::int32_t id = a.ctx_->emit_fp(op, result.format(), a.id_, -1);
-    return TpValue{a.ctx_, result, id};
+    const FpFormat fmt = a.format();
+    record_op(fmt, op);
+    const double r = routed(a.ctx_, op, a.to_double(), a.to_double(), fmt);
+    const std::int32_t id = a.ctx_->emit_fp(op, fmt, a.id_, -1);
+    return TpValue{a.ctx_, FlexFloatDyn::from_rounded(r, fmt), id};
 }
 
 bool TpValue::compare(const TpValue& a, const TpValue& b, bool result) {
@@ -30,38 +55,46 @@ bool TpValue::compare(const TpValue& a, const TpValue& b, bool result) {
 }
 
 TpValue operator+(const TpValue& a, const TpValue& b) {
-    return TpValue::binary(FpOp::Add, a, b, a.value_ + b.value_);
+    return TpValue::binary(FpOp::Add, a, b);
 }
 TpValue operator-(const TpValue& a, const TpValue& b) {
-    return TpValue::binary(FpOp::Sub, a, b, a.value_ - b.value_);
+    return TpValue::binary(FpOp::Sub, a, b);
 }
 TpValue operator*(const TpValue& a, const TpValue& b) {
-    return TpValue::binary(FpOp::Mul, a, b, a.value_ * b.value_);
+    return TpValue::binary(FpOp::Mul, a, b);
 }
 TpValue operator/(const TpValue& a, const TpValue& b) {
-    return TpValue::binary(FpOp::Div, a, b, a.value_ / b.value_);
+    return TpValue::binary(FpOp::Div, a, b);
 }
 TpValue operator-(const TpValue& a) {
-    return TpValue::unary(FpOp::Neg, a, -a.value_);
+    return TpValue::unary(FpOp::Neg, a);
 }
 TpValue sqrt(const TpValue& a) {
-    return TpValue::unary(FpOp::Sqrt, a, sqrt(a.value_));
+    return TpValue::unary(FpOp::Sqrt, a);
 }
 TpValue abs(const TpValue& a) {
-    return TpValue::unary(FpOp::Abs, a, abs(a.value_));
+    return TpValue::unary(FpOp::Abs, a);
 }
 TpValue TpValue::ternary(FpOp op, const TpValue& a, const TpValue& b,
-                         const TpValue& c, FlexFloatDyn result) {
+                         const TpValue& c) {
     TpContext* ctx =
         a.ctx_ != nullptr ? a.ctx_ : (b.ctx_ != nullptr ? b.ctx_ : c.ctx_);
     assert(ctx != nullptr && "TpValue fma requires a live context");
-    const std::int32_t id =
-        ctx->emit_fp(op, result.format(), a.id_, b.id_, c.id_);
-    return TpValue{ctx, result, id};
+    assert(a.format() == b.format() && b.format() == c.format() &&
+           "mixed-format fma requires explicit casts");
+    const FpFormat fmt = a.format();
+    record_op(fmt, op);
+    const double r =
+        ctx->force_emulated()
+            ? arith::emulated_fma(a.to_double(), b.to_double(), c.to_double(),
+                                  fmt)
+            : arith::fma(a.to_double(), b.to_double(), c.to_double(), fmt);
+    const std::int32_t id = ctx->emit_fp(op, fmt, a.id_, b.id_, c.id_);
+    return TpValue{ctx, FlexFloatDyn::from_rounded(r, fmt), id};
 }
 
 TpValue fma(const TpValue& a, const TpValue& b, const TpValue& c) {
-    return TpValue::ternary(FpOp::Fma, a, b, c, fma(a.value_, b.value_, c.value_));
+    return TpValue::ternary(FpOp::Fma, a, b, c);
 }
 
 bool operator<(const TpValue& a, const TpValue& b) {
@@ -79,8 +112,12 @@ bool operator>=(const TpValue& a, const TpValue& b) {
 
 TpValue TpValue::cast_to(FpFormat target) const {
     assert(ctx_ != nullptr);
+    if (stats_enabled()) thread_stats().record_cast(format(), target);
+    const double r = ctx_->force_emulated()
+                         ? arith::emulated_cast(to_double(), target)
+                         : arith::cast(to_double(), target);
     const std::int32_t id = ctx_->emit_cast(format(), target, id_);
-    return TpValue{ctx_, value_.cast_to(target), id};
+    return TpValue{ctx_, FlexFloatDyn::from_rounded(r, target), id};
 }
 
 // --- TpArray ---------------------------------------------------------------
@@ -88,7 +125,9 @@ TpValue TpValue::cast_to(FpFormat target) const {
 TpValue TpArray::load(std::size_t i) {
     assert(i < data_.size());
     const std::int32_t id = ctx_->emit_load(stream_, format_);
-    return TpValue{ctx_, FlexFloatDyn{data_[i], format_}, id};
+    // Backing-store values are already quantized to the element format
+    // (set_raw / store), so the load skips the construction-time re-round.
+    return TpValue{ctx_, FlexFloatDyn::from_rounded(data_[i], format_), id};
 }
 
 void TpArray::store(std::size_t i, const TpValue& value) {
@@ -113,8 +152,11 @@ TpValue TpContext::from_int(std::int64_t value, FpFormat format) {
         instr.dst = id = next_id();
         trace_.push_back(instr);
     }
-    if (thread_stats().enabled()) thread_stats().record_op(format, FpOp::FromInt);
-    return TpValue{this, FlexFloatDyn{static_cast<double>(value), format}, id};
+    if (stats_enabled()) thread_stats().record_op(format, FpOp::FromInt);
+    const double raw = static_cast<double>(value);
+    const double r = config_.force_emulated ? arith::emulated_cast(raw, format)
+                                            : arith::cast(raw, format);
+    return TpValue{this, FlexFloatDyn::from_rounded(r, format), id};
 }
 
 void TpContext::int_ops(int n) {

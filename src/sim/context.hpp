@@ -66,11 +66,13 @@ private:
     TpValue(TpContext* ctx, FlexFloatDyn value, std::int32_t id) noexcept
         : value_(value), id_(id), ctx_(ctx) {}
 
-    static TpValue binary(FpOp op, const TpValue& a, const TpValue& b,
-                          FlexFloatDyn result);
+    // The ops compute their own result through the arithmetic backend
+    // (flexfloat/arith_backend.hpp), honoring the owning context's
+    // force_emulated policy; results adopt the already-rounded value.
+    static TpValue binary(FpOp op, const TpValue& a, const TpValue& b);
     static TpValue ternary(FpOp op, const TpValue& a, const TpValue& b,
-                           const TpValue& c, FlexFloatDyn result);
-    static TpValue unary(FpOp op, const TpValue& a, FlexFloatDyn result);
+                           const TpValue& c);
+    static TpValue unary(FpOp op, const TpValue& a);
     static bool compare(const TpValue& a, const TpValue& b, bool result);
 
     FlexFloatDyn value_{};
@@ -118,6 +120,12 @@ class TpContext {
 public:
     struct Config {
         bool trace = true; // false: compute only (fast tuning runs)
+        /// Pin every instruction this context executes to the emulated
+        /// arithmetic backend (differential testing; results are
+        /// bit-identical to the native fast path by contract). The
+        /// process/thread knobs in flexfloat/arith_backend.hpp force the
+        /// emulated path independently of this flag.
+        bool force_emulated = false;
     };
 
     TpContext() : TpContext(Config{}) {}
@@ -157,6 +165,12 @@ public:
     [[nodiscard]] VectorRegionGuard vector_region() { return VectorRegionGuard{}; }
 
     [[nodiscard]] bool tracing() const noexcept { return config_.trace; }
+
+    /// Backend override for this context's instructions (see Config).
+    [[nodiscard]] bool force_emulated() const noexcept {
+        return config_.force_emulated;
+    }
+    void set_force_emulated(bool on) noexcept { config_.force_emulated = on; }
 
     /// Hands the recorded trace out (and resets the context's trace state).
     /// `apply_simd` runs the vectorization pass, modelling the SIMD-enabled

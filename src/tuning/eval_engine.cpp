@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "flexfloat/arith_backend.hpp"
 #include "tuning/quality.hpp"
 
 namespace tp::tuning {
@@ -77,7 +78,8 @@ struct EvalEngine::Flight {
 EvalEngine::EvalEngine(const apps::App& prototype, const Options& options)
     : master_(prototype.clone()),
       memoize_(options.memoize),
-      cache_budget_bytes_(options.cache_budget_bytes) {
+      cache_budget_bytes_(options.cache_budget_bytes),
+      force_emulated_(options.force_emulated) {
     if (options.threads > 1) {
         pool_ = std::make_unique<util::ThreadPool>(options.threads);
     }
@@ -153,7 +155,14 @@ const std::vector<double>& EvalEngine::golden(unsigned input_set) {
     }
     try {
         std::unique_ptr<apps::App> app = acquire_clone();
-        std::vector<double> reference = app->golden(input_set);
+        std::vector<double> reference;
+        {
+            // Thread-scoped, so it covers this run wherever it executes
+            // (caller thread or pool worker — golden() runs on the
+            // requesting thread).
+            const arith::ScopedForceEmulated backend{force_emulated_};
+            reference = app->golden(input_set);
+        }
         release_clone(std::move(app));
         bump(stats_mutex_, stats_, [](EvalStats& s) { ++s.golden_runs; });
         const std::vector<double>* stored = nullptr;
@@ -209,6 +218,11 @@ sim::RunReport EvalEngine::report(unsigned input_set,
 }
 
 EvalEngine::CacheValue EvalEngine::execute(const CacheKey& key) {
+    // Thread-scoped backend override: execute() always runs the kernel on
+    // the calling thread (pool tasks call it from the worker), so the
+    // scope pins exactly this run — and nothing else — to the emulated
+    // backend when the engine option asks for it.
+    const arith::ScopedForceEmulated backend{force_emulated_};
     std::unique_ptr<apps::App> app = acquire_clone();
     app->prepare(key.input_set);
     CacheValue value;

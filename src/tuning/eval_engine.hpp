@@ -161,6 +161,14 @@ public:
         /// the budget. Eviction only costs re-runs: results stay
         /// bit-identical in any eviction state.
         std::size_t cache_budget_bytes = 0;
+        /// Pin every kernel (trials and goldens) this engine runs to the
+        /// emulated arithmetic backend — applied as a thread-scoped
+        /// override around each execution, so it also covers pool
+        /// workers. Results are bit-identical to the native fast path by
+        /// the backend contract (differential-testing knob; the env
+        /// TP_FORCE_EMULATED reaches the same state process-wide). See
+        /// flexfloat/arith_backend.hpp.
+        bool force_emulated = false;
     };
 
     /// Snapshots `prototype` (one clone) — the engine never mutates or
@@ -275,6 +283,7 @@ private:
     std::unique_ptr<apps::App> master_; // immutable after construction
     bool memoize_ = true;
     std::size_t cache_budget_bytes_ = 0;
+    bool force_emulated_ = false;
     std::unique_ptr<util::ThreadPool> pool_;
 
     std::mutex clones_mutex_;

@@ -2,6 +2,16 @@
 
 namespace tp {
 
+std::string_view name_of(BackendKind kind) noexcept {
+    switch (kind) {
+    case BackendKind::kEmulated: return "emulated";
+    case BackendKind::kNativeF64: return "native_f64";
+    case BackendKind::kNativeF32: return "native_f32";
+    case BackendKind::kNativeF16: return "native_f16";
+    }
+    return "unknown";
+}
+
 std::string_view name_of(FormatKind kind) noexcept {
     switch (kind) {
     case FormatKind::Binary8: return "binary8";

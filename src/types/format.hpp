@@ -16,7 +16,43 @@
 #include <cstdint>
 #include <string_view>
 
+// Native binary16 support: _Float16 arithmetic/conversions are used on the
+// fast path only where the compiler provides a conforming IEEE binary16
+// (mantissa digits == 11) AND the target has hardware float<->half
+// conversions (x86 F16C/AVX512-FP16, or AArch64's always-present FP16
+// converts). Without the hardware converts, _Float16 conversions lower to
+// libgcc calls that are an order of magnitude SLOWER than the emulated
+// integer re-rounding — a "fast path" in name only — so plain
+// __FLT16_MANT_DIG__ is deliberately not enough. Define TP_NO_NATIVE_F16
+// to force the emulated path for binary16 regardless (build knob for
+// differential testing and for toolchains with broken half support).
+#if !defined(TP_NO_NATIVE_F16) && defined(__FLT16_MANT_DIG__) &&  \
+    __FLT16_MANT_DIG__ == 11 &&                                   \
+    (defined(__F16C__) || defined(__AVX512FP16__) ||              \
+     defined(__ARM_FP16_FORMAT_IEEE))
+#define TP_NATIVE_F16 1
+#else
+#define TP_NATIVE_F16 0
+#endif
+
 namespace tp {
+
+/// Arithmetic backend a format resolves to (see flexfloat/arith_backend.hpp
+/// for the entry points). Formats whose bit-level semantics coincide with a
+/// hardware FP type compute natively in that type and convert at the format
+/// boundary; every other (e, m) pair takes the emulated
+/// compute-in-binary64-then-sanitize path. Both backends are bit-identical
+/// by contract (property-tested across the format lattice), so the choice
+/// is purely a speed lever.
+enum class BackendKind : std::uint8_t {
+    kEmulated = 0, ///< binary64 arithmetic + detail::sanitize re-rounding
+    kNativeF64 = 1, ///< hardware double (binary64)
+    kNativeF32 = 2, ///< hardware float (binary32)
+    kNativeF16 = 3, ///< hardware _Float16 (binary16), where the compiler has it
+};
+
+/// Human-readable backend name ("emulated", "native_f64", ...).
+[[nodiscard]] std::string_view name_of(BackendKind kind) noexcept;
 
 /// Static description of a sign/exponent/mantissa floating-point format.
 ///
@@ -68,6 +104,22 @@ struct FpFormat {
     /// True for the descriptor limits this library supports.
     [[nodiscard]] constexpr bool valid() const noexcept {
         return exp_bits >= 1 && exp_bits <= 11 && mant_bits >= 1 && mant_bits <= 52;
+    }
+
+    /// Arithmetic backend this format resolves to: the hardware type whose
+    /// IEEE semantics match (e, m) exactly, or kEmulated for every other
+    /// shape. Use this instead of ad-hoc comparisons against kBinary32 /
+    /// kBinary64 when deciding whether a format maps onto hardware — the
+    /// classifier also folds in compile-time _Float16 availability.
+    /// Backend *resolution* (which additionally honors the force-emulated
+    /// override knob) lives in tp::arith::resolve().
+    [[nodiscard]] constexpr BackendKind backend() const noexcept {
+        if (exp_bits == 11 && mant_bits == 52) return BackendKind::kNativeF64;
+        if (exp_bits == 8 && mant_bits == 23) return BackendKind::kNativeF32;
+#if TP_NATIVE_F16
+        if (exp_bits == 5 && mant_bits == 10) return BackendKind::kNativeF16;
+#endif
+        return BackendKind::kEmulated;
     }
 };
 
