@@ -181,18 +181,21 @@ double percentile(std::vector<double> values, double q) {
 }
 
 /// Direct-search reference for every request in the burst: the
-/// acceptance gate of the determinism contract's scheduling axis.
+/// acceptance gate of the determinism contract's scheduling axis. A
+/// SweepRequest chains epsilons through warm starts by default, so its
+/// reference is a private-engine sweep_search with the same chaining,
+/// not three independent distributed_searches.
 bool matches_direct_searches(const Burst& burst) {
     bool ok = true;
     for (int i = 0; i < kSweeps; ++i) {
-        for (std::size_t e = 0; e < kSweepEpsilons.size(); ++e) {
-            const auto instance = tp::apps::make_app(sweep_app(i));
-            SearchOptions options = burst_options();
-            options.epsilon = kSweepEpsilons[e];
-            options.input_sets = sweep_sets(i);
-            ok = identical_results(burst.sweeps[i][e],
-                                   distributed_search(*instance, options)) &&
-                 ok;
+        const auto instance = tp::apps::make_app(sweep_app(i));
+        SearchOptions options = burst_options();
+        options.input_sets = sweep_sets(i);
+        const std::vector<TuningResult> reference =
+            tp::tuning::sweep_search(*instance, options, kSweepEpsilons);
+        ok = burst.sweeps[i].size() == reference.size() && ok;
+        for (std::size_t e = 0; e < reference.size(); ++e) {
+            ok = identical_results(burst.sweeps[i][e], reference[e]) && ok;
         }
     }
     for (int i = 0; i < kHighs; ++i) {

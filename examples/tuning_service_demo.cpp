@@ -15,7 +15,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 
+#include "apps/app.hpp"
+#include "tuning/config_io.hpp"
+#include "tuning/search.hpp"
 #include "tuning/service.hpp"
 #include "types/format.hpp"
 #include "util/table.hpp"
@@ -45,7 +49,10 @@ int main(int argc, char** argv) {
     std::cout << "async tuning service on " << threads << " worker(s)\n\n";
 
     // A backlog of bulk work: one three-epsilon sweep per app, admitted
-    // at the lowest priority.
+    // at the lowest priority. Sweeps chain epsilons through warm starts
+    // by default: each looser search starts from the tighter result's
+    // bits instead of the full lattice, so the backlog submits fewer
+    // trials than three independent searches would.
     std::vector<TicketHandle> sweeps;
     for (const char* app : {"pca", "dwt", "knn"}) {
         SweepRequest sweep;
@@ -116,10 +123,36 @@ int main(int argc, char** argv) {
               << stats.kernel_runs << " kernel executions, "
               << stats.cache_hits << " served from shared caches ("
               << static_cast<int>(100.0 * stats.hit_rate())
-              << "% eliminated)\n";
+              << "% eliminated), " << stats.trials_skipped_by_bounds
+              << " bisection steps never submitted (warm-start clamps)\n";
+
+    // A tuned result is also a reusable artifact: store it as a config
+    // file, load it back against the app's signal table, and seed the
+    // next search with it. Quality is monotone in epsilon, so a 1e-3
+    // result is a feasible (and aggressive) starting point at 1e-2.
+    if (sweeps.front().status() == RequestStatus::kDone) {
+        std::stringstream config_file;
+        tp::tuning::write_precision_config(
+            config_file, sweeps.front().sweep_results()[0].precision_config());
+        const auto app = tp::apps::make_app("pca");
+        tp::tuning::SearchOptions seeded;
+        seeded.epsilon = 1e-2;
+        tp::tuning::WarmStart seed;
+        seed.seed_bits =
+            tp::tuning::read_warm_start_seed(config_file, app->signal_table());
+        seeded.warm_start = std::move(seed);
+        const auto warm = tp::tuning::distributed_search(
+            service.engine("pca"), seeded);
+        std::cout << "re-tuning pca @1e-2 seeded from the saved 1e-3 "
+                     "config: "
+                  << warm.program_runs << " trials\n";
+    }
 
     // The synchronous batch API survives as a wrapper over submit():
-    // repeating the drained work through run() is pure cache.
+    // repeating the drained work through run() is pure cache. (The batch
+    // runs independent per-epsilon searches, not chained ones — but the
+    // cache keys on (input set, config), not epsilon, and the trials
+    // above cover every config these searches revisit.)
     std::vector<TuningRequest> batch;
     for (const char* app : {"pca", "dwt"}) {
         for (const double epsilon : {1e-3, 1e-2, 1e-1}) {

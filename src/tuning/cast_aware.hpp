@@ -25,9 +25,13 @@
 namespace tp::tuning {
 
 struct CastAwareOptions {
-    SearchOptions search;      // phase 1: plain DistributedSearch;
-                               // search.threads also parallelizes this
-                               // pass's candidate-cost and quality probes
+    /// Phase 1: plain DistributedSearch; search.threads also parallelizes
+    /// this pass's candidate-cost and quality probes. search.warm_start
+    /// seeds that base search unchanged (see the contract in search.hpp) —
+    /// e.g. warm_start_from(a completed plain search at the same epsilon)
+    /// lets a service-engine cast-aware pass skip most of the base
+    /// search's probe ranges and start phase 2 from the same binding.
+    SearchOptions search;
     bool simd = true;          // platform configuration for the cost oracle
     int max_rounds = 4;        // greedy sweeps over all variables
     unsigned cost_input_set = 0; // workload used for energy evaluation

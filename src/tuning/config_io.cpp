@@ -70,4 +70,26 @@ void write_precision_config(std::ostream& os, const PrecisionConfig& config) {
     }
 }
 
+std::vector<int> seed_bits_from_config(const PrecisionConfig& config,
+                                       const apps::SignalTable& table) {
+    validate_precision_config(config, table);
+    std::vector<int> seed;
+    seed.reserve(table.size());
+    for (const apps::SignalSpec& spec : table.specs()) {
+        const auto it = config.find(spec.name);
+        if (it == config.end()) {
+            throw std::runtime_error(
+                "warm-start seed: no precision for signal '" + spec.name +
+                "' (a seed must cover every declared variable)");
+        }
+        seed.push_back(it->second);
+    }
+    return seed;
+}
+
+std::vector<int> read_warm_start_seed(std::istream& is,
+                                      const apps::SignalTable& table) {
+    return seed_bits_from_config(read_precision_config(is, table), table);
+}
+
 } // namespace tp::tuning

@@ -16,6 +16,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "apps/signal_table.hpp"
 
@@ -39,5 +40,20 @@ void validate_precision_config(const PrecisionConfig& config,
 
 /// Writes a configuration in the same format.
 void write_precision_config(std::ostream& os, const PrecisionConfig& config);
+
+/// Translates a parsed config into warm-start seed bits (WarmStart::
+/// seed_bits, tuning/search.hpp) in SignalId (declaration) order. Stricter
+/// than validate_precision_config: a seed must also COVER the table —
+/// every declared signal needs a starting precision, so a missing entry
+/// throws std::runtime_error naming it. (TuningResult::precision_config of
+/// a previous run covers by construction; a hand-written file may not.)
+[[nodiscard]] std::vector<int> seed_bits_from_config(
+    const PrecisionConfig& config, const apps::SignalTable& table);
+
+/// Reads a config stream and converts it to seed bits in one step — the
+/// "seed a search from a previous run's saved file" path. Equivalent to
+/// read_precision_config(is, table) + seed_bits_from_config.
+[[nodiscard]] std::vector<int> read_warm_start_seed(
+    std::istream& is, const apps::SignalTable& table);
 
 } // namespace tp::tuning

@@ -350,6 +350,12 @@ std::size_t EvalEngine::publish(const CacheKey& key, const CacheValue& value) {
     return evicted;
 }
 
+void EvalEngine::note_trials_skipped(std::size_t n) {
+    if (n == 0) return;
+    bump(stats_mutex_, stats_,
+         [n](EvalStats& s) { s.trials_skipped_by_bounds += n; });
+}
+
 EvalStats EvalEngine::stats() const {
     const std::lock_guard<std::mutex> lock{stats_mutex_};
     return stats_;

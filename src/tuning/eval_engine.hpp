@@ -70,13 +70,21 @@ namespace tp::tuning {
 /// requests for the same key execute the kernel exactly once. Golden
 /// (binary64 reference) executions are tracked separately — they are not
 /// trials. `evictions` counts cache entries dropped by the LRU memory
-/// budget.
+/// budget. `trials_skipped_by_bounds` counts trials a warm start
+/// provably removed from a search's probes (tuning/search.hpp): the
+/// bisection steps its seed / feasibility bounds clamped away plus the
+/// closing verifications whose outcome a trial in the same bisection
+/// already implied. Never submitted, so NOT part of the
+/// trials == cache_hits + kernel_runs invariant; a deterministic
+/// function of the request, booked by the search via
+/// note_trials_skipped() so scoped attribution sees it too.
 struct EvalStats {
     std::size_t trials = 0;
     std::size_t kernel_runs = 0;
     std::size_t cache_hits = 0;
     std::size_t golden_runs = 0;
     std::size_t evictions = 0;
+    std::size_t trials_skipped_by_bounds = 0;
 
     /// Fraction of trials served from the cache, in [0, 1].
     [[nodiscard]] double hit_rate() const noexcept {
@@ -94,6 +102,7 @@ struct EvalStats {
         cache_hits += other.cache_hits;
         golden_runs += other.golden_runs;
         evictions += other.evictions;
+        trials_skipped_by_bounds += other.trials_skipped_by_bounds;
         return *this;
     }
     friend EvalStats operator+(EvalStats a, const EvalStats& b) noexcept {
@@ -105,6 +114,7 @@ struct EvalStats {
         a.cache_hits -= b.cache_hits;
         a.golden_runs -= b.golden_runs;
         a.evictions -= b.evictions;
+        a.trials_skipped_by_bounds -= b.trials_skipped_by_bounds;
         return a;
     }
 
@@ -210,6 +220,12 @@ public:
                           bool simd);
 
     [[nodiscard]] EvalStats stats() const;
+
+    /// Books `n` trials a warm start / feasibility bound made unnecessary
+    /// (EvalStats::trials_skipped_by_bounds). Called by the search, not by
+    /// evaluation itself — skipped trials never reach the engine; routing
+    /// them through it keeps the counter visible to EvalStatsScope.
+    void note_trials_skipped(std::size_t n);
 
     /// Bytes currently charged to the trial cache (outputs + reports,
     /// excluding pinned goldens). Never exceeds a non-zero

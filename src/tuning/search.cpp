@@ -1,7 +1,9 @@
 #include "tuning/search.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "tuning/eval_engine.hpp"
@@ -15,7 +17,17 @@ namespace {
 struct ProbeResult {
     int precision_bits = kMaxPrecisionBits;
     std::size_t runs = 0;
+    std::size_t skipped = 0; // trials a warm start / clamp made unnecessary
 };
+
+/// Worst-case bisection iterations over the integer range [lo, hi]:
+/// ceil(log2(hi - lo + 1)) = bit_width(hi - lo); 0 for a single-point or
+/// empty range. A deterministic function of the range, which is what
+/// makes trials_skipped_by_bounds deterministic too.
+std::size_t bisect_depth(int lo, int hi) {
+    if (hi <= lo) return 0;
+    return std::bit_width(static_cast<unsigned>(hi - lo));
+}
 
 class Searcher {
 public:
@@ -25,6 +37,7 @@ public:
             names_.push_back(spec.name);
             elements_.push_back(spec.elements);
         }
+        validate_warm_start();
         // Pre-warm the goldens serially so pool workers only ever read them.
         for (unsigned set : options.input_sets) (void)engine_.golden(set);
     }
@@ -53,6 +66,10 @@ public:
         // formats the program will actually ship with.
         repair(joined, /*bound=*/true);
 
+        monotone_join(joined);
+
+        if (skipped_ > 0) engine_.note_trials_skipped(skipped_);
+
         TuningResult result;
         result.type_system = options_.type_system.kind();
         result.epsilon = options_.epsilon;
@@ -69,6 +86,78 @@ public:
     }
 
 private:
+    /// Rejects a warm start that does not match the app's SignalTable or
+    /// steps outside the precision lattice, before any trial runs.
+    void validate_warm_start() const {
+        if (!options_.warm_start) return;
+        const WarmStart& warm = *options_.warm_start;
+        const std::size_t n = names_.size();
+        auto in_lattice = [](int bits) {
+            return bits >= kMinPrecisionBits && bits <= kMaxPrecisionBits;
+        };
+        if (warm.seed_bits.size() != n) {
+            throw std::invalid_argument(
+                "WarmStart::seed_bits: expected one entry per signal (" +
+                std::to_string(n) + "), got " +
+                std::to_string(warm.seed_bits.size()));
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!in_lattice(warm.seed_bits[i])) {
+                throw std::invalid_argument(
+                    "WarmStart::seed_bits[" + names_[i] + "] = " +
+                    std::to_string(warm.seed_bits[i]) +
+                    " outside [" + std::to_string(kMinPrecisionBits) + ", " +
+                    std::to_string(kMaxPrecisionBits) + "]");
+            }
+        }
+        for (const auto* bounds : {&warm.lower_bounds, &warm.upper_bounds}) {
+            if (!bounds->empty() && bounds->size() != n) {
+                throw std::invalid_argument(
+                    "WarmStart bounds: expected empty or one entry per "
+                    "signal (" + std::to_string(n) + "), got " +
+                    std::to_string(bounds->size()));
+            }
+            for (const int bits : *bounds) {
+                if (!in_lattice(bits)) {
+                    throw std::invalid_argument(
+                        "WarmStart bound " + std::to_string(bits) +
+                        " outside [" + std::to_string(kMinPrecisionBits) +
+                        ", " + std::to_string(kMaxPrecisionBits) + "]");
+                }
+            }
+        }
+        if (!warm.lower_bounds.empty() && !warm.upper_bounds.empty()) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (warm.lower_bounds[i] > warm.upper_bounds[i]) {
+                    throw std::invalid_argument(
+                        "WarmStart bounds for " + names_[i] + " are empty: [" +
+                        std::to_string(warm.lower_bounds[i]) + ", " +
+                        std::to_string(warm.upper_bounds[i]) + "]");
+                }
+            }
+        }
+    }
+
+    bool warm() const { return options_.warm_start.has_value(); }
+
+    /// Seed precision of signal `i` — the bisection ceiling its first
+    /// probe starts from; the lattice top for a cold search.
+    int seed_of(std::size_t i) const {
+        return warm() ? options_.warm_start->seed_bits[i] : kMaxPrecisionBits;
+    }
+
+    int lower_bound_of(std::size_t i) const {
+        return warm() && !options_.warm_start->lower_bounds.empty()
+                   ? options_.warm_start->lower_bounds[i]
+                   : kMinPrecisionBits;
+    }
+
+    int upper_bound_of(std::size_t i) const {
+        return warm() && !options_.warm_start->upper_bounds.empty()
+                   ? options_.warm_start->upper_bounds[i]
+                   : kMaxPrecisionBits;
+    }
+
     /// The interned per-signal binding a precision vector denotes. With
     /// `bound` the config carries the concrete type each precision binds
     /// to instead of the trial format.
@@ -110,6 +199,7 @@ private:
             bool changed = false;
             for (std::size_t i = 0; i < n; ++i) {
                 runs_ += probes[i].runs;
+                skipped_ += probes[i].skipped;
                 changed = changed || probes[i].precision_bits != bits[i];
             }
             if (!changed) break;
@@ -139,14 +229,37 @@ private:
         std::vector<int> bits = frozen;
         ProbeResult result;
         const int original = bits[i];
-        int lo = kMinPrecisionBits;
-        int hi = original;
+        // Warm start: the seed caps where the bisection starts (a search
+        // at a looser requirement than the seed's provenance never needs
+        // more precision than the seed, by quality monotonicity in
+        // epsilon), and the explicit feasibility bounds clamp the range
+        // further. The cold probe would bisect [kMinPrecisionBits,
+        // original]; every step the clamps remove is booked as skipped.
+        const int lo_clamped = std::max(kMinPrecisionBits, lower_bound_of(i));
+        const int hi_clamped =
+            std::min({original, upper_bound_of(i), seed_of(i)});
+        if (lo_clamped > hi_clamped || lo_clamped >= original) {
+            // The bounds pin the signal at its current value: no trial to
+            // submit, the whole cold range is skipped.
+            result.precision_bits = original;
+            result.skipped = bisect_depth(kMinPrecisionBits, original);
+            return result;
+        }
+        result.skipped = bisect_depth(kMinPrecisionBits, original) -
+                         bisect_depth(lo_clamped, hi_clamped);
+        int lo = lo_clamped;
+        int hi = hi_clamped;
+        // `hi` only ever takes values a trial just PASSED at: when the
+        // loop exits with lo == hi < hi_clamped, the config at lo already
+        // passed under this exact frozen context.
+        bool hi_passed = false;
         while (lo < hi) {
             const int mid = lo + (hi - lo) / 2;
             bits[i] = mid;
             ++result.runs;
             if (trial(set, bits, /*bound=*/false)) {
                 hi = mid;
+                hi_passed = true;
             } else {
                 lo = mid + 1;
             }
@@ -154,13 +267,51 @@ private:
         bits[i] = lo;
         result.precision_bits = lo;
         if (lo != original) {
+            if (warm() && hi_passed) {
+                // The closing verification would repeat the passing trial
+                // the bisection just converged on — same config, same set,
+                // outcome exactly implied. Warm-started searches elide the
+                // repeat (booked as skipped); the cold path keeps its
+                // legacy trial sequence byte-for-byte.
+                ++result.skipped;
+                return result;
+            }
             ++result.runs;
             if (!trial(set, bits, /*bound=*/false)) {
-                // Non-monotone corner: keep the known-good value.
+                // Clamp bottom-out (lo == hi_clamped was never tested) or
+                // non-monotone corner: keep the known-good value.
                 result.precision_bits = original;
             }
         }
         return result;
+    }
+
+    /// Joins a warm-started search's final binding toward its seed: if
+    /// the pointwise min of `bits` and the seed passes every input set
+    /// (verified end-to-end, unbound and bound), it becomes the result.
+    /// The min can only LOWER precisions, and a chained seed is exactly
+    /// feasible at the current epsilon, so whenever the join verifies it
+    /// keeps chained sweep results per-signal ordered across epsilons even
+    /// where independent greedy searches are not (the greedy trades
+    /// signals off differently per requirement). A no-op for cold
+    /// searches, for seeds at or above the result, and when the joined
+    /// binding misses the requirement (then `bits` — already verified by
+    /// repair — stands).
+    void monotone_join(std::vector<int>& bits) {
+        if (!warm()) return;
+        std::vector<int> joined(bits.size());
+        bool lowers = false;
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            joined[i] = std::min(bits[i], seed_of(i));
+            lowers = lowers || joined[i] < bits[i];
+        }
+        if (!lowers) return;
+        for (const bool bound : {false, true}) {
+            for (const unsigned set : options_.input_sets) {
+                if (!trial_counted(set, joined, bound)) return;
+            }
+        }
+        bits = joined;
     }
 
     /// Widens `bits` until every input set passes, or the round budget is
@@ -185,6 +336,9 @@ private:
     /// Widens precisions until `set` passes, preferring the narrowest
     /// variables (those most likely responsible for the quality loss).
     /// Inherently sequential: every step depends on the previous trial.
+    /// Identical for cold and warm searches: repair is what guarantees
+    /// every result meets its requirement, seeded or not, so it never
+    /// consults the warm start.
     void widen_for_set(unsigned set, std::vector<int>& bits, bool bound) {
         while (!trial_counted(set, bits, bound)) {
             std::size_t narrowest = names_.size();
@@ -204,6 +358,7 @@ private:
     std::vector<std::string> names_;
     std::vector<std::size_t> elements_;
     std::size_t runs_ = 0;
+    std::size_t skipped_ = 0; // see EvalStats::trials_skipped_by_bounds
 };
 
 } // namespace
@@ -251,6 +406,56 @@ TuningResult distributed_search(apps::App& app, const SearchOptions& options) {
 TuningResult distributed_search(EvalEngine& engine, const SearchOptions& options) {
     Searcher searcher{engine, options};
     return searcher.run();
+}
+
+WarmStart warm_start_from(const TuningResult& result) {
+    WarmStart warm;
+    warm.seed_bits.reserve(result.signals.size());
+    for (const SignalResult& sr : result.signals) {
+        warm.seed_bits.push_back(sr.precision_bits);
+    }
+    // Monotonicity bound: a looser requirement never needs more precision
+    // than the seed's, so the seed doubles as the probe ceiling.
+    warm.upper_bounds = warm.seed_bits;
+    return warm;
+}
+
+std::vector<TuningResult> sweep_search(EvalEngine& engine,
+                                       const SearchOptions& base,
+                                       const std::vector<double>& epsilons,
+                                       bool warm_start_chain) {
+    std::vector<TuningResult> results;
+    results.reserve(epsilons.size());
+    for (std::size_t e = 0; e < epsilons.size(); ++e) {
+        SearchOptions options = base;
+        options.epsilon = epsilons[e];
+        if (warm_start_chain) {
+            // Seed from the tightest completed epsilon not exceeding this
+            // one: its result is exactly feasible here (quality is a fixed
+            // number per config, so meeting a tighter epsilon meets every
+            // looser one). For the conventional tight-to-loose order this
+            // is simply the previous result.
+            const TuningResult* seed = nullptr;
+            for (std::size_t c = 0; c < e; ++c) {
+                if (epsilons[c] > epsilons[e]) continue;
+                if (seed == nullptr || epsilons[c] > seed->epsilon) {
+                    seed = &results[c];
+                }
+            }
+            if (seed != nullptr) options.warm_start = warm_start_from(*seed);
+        }
+        results.push_back(distributed_search(engine, options));
+    }
+    return results;
+}
+
+std::vector<TuningResult> sweep_search(apps::App& app,
+                                       const SearchOptions& base,
+                                       const std::vector<double>& epsilons,
+                                       bool warm_start_chain) {
+    EvalEngine engine{app, EvalEngine::Options{.threads = base.threads,
+                                               .memoize = true}};
+    return sweep_search(engine, base, epsilons, warm_start_chain);
 }
 
 } // namespace tp::tuning

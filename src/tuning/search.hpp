@@ -60,9 +60,42 @@
 //     reorder work, they cannot change bits. (A cancelled request has no
 //     result at all; cancellation never stops a search mid-flight, so no
 //     partially-evaluated state can leak into a neighbour's trials.)
+//
+//   * warm starts — SearchOptions::warm_start is PART of the request, so
+//     the axes above extend unchanged: a warm-started search is a pure
+//     function of (app, options, warm_start) and returns the same bits at
+//     any thread count, cache state, priority, or admission order. A warm
+//     start changes WHICH trials are submitted, never the search's
+//     structure: the seed caps where each probe's bisection starts
+//     (instead of kMaxPrecisionBits), the per-signal feasibility bounds
+//     clamp the range further, and probes elide the closing verification
+//     when its outcome is exactly implied by a trial the same bisection
+//     already ran. program_runs still counts trials SUBMITTED and is
+//     deterministic in its own right — smaller than the cold search's;
+//     the steps the clamps removed and the elided repeats are visible in
+//     EvalStats::trials_skipped_by_bounds (tuning/eval_engine.hpp). The
+//     greedy trajectory otherwise matches the cold search's — probes hold
+//     the same frozen context and the repair loop is identical and
+//     warm-start-blind — so every warm-started result meets its epsilon
+//     unconditionally (repair guarantees it, seeded or not), and with a
+//     seed from a search at a TIGHTER epsilon (quality monotonicity in
+//     epsilon makes its feasibility exact, the basis of sweep_search's
+//     chaining) the tuned per-signal precisions track the independent
+//     search's (asserted per app in bench_eval_engine's
+//     sweep_warm_start gates). A warm-started search ends with a
+//     monotone join: if the pointwise min of the result and the seed
+//     verifies on every input set, it becomes the result — the min only
+//     lowers precisions, and it is what keeps a chained sweep's
+//     per-signal minima ordered across epsilons even where independent
+//     greedy searches trade signals off differently per requirement. A
+//     seed or bound that clamps a probe below every passing value costs
+//     nothing but the clamped probe: the closing verification catches it
+//     and keeps the pass-start value, and repair restores feasibility as
+//     always.
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +106,30 @@
 namespace tp::tuning {
 
 class EvalEngine;
+
+/// An optional warm-start binding for distributed_search: where the
+/// search begins and how far each per-signal probe may range. All three
+/// vectors are in SignalId (declaration) order and validated against the
+/// app's SignalTable size before any trial runs.
+struct WarmStart {
+    /// Per-signal starting precision bits: each signal's first probe
+    /// bisects [kMinPrecisionBits, seed] instead of the full lattice.
+    /// Meaningful seeds meet the request's epsilon on every input set —
+    /// a TuningResult at a tighter epsilon (exactly feasible, by quality
+    /// monotonicity in epsilon), or a saved config from a previous run
+    /// (config_io::read_warm_start_seed). A seed below a signal's true
+    /// minimum only costs the probe it clamps (the closing verification
+    /// rejects it); the result still meets the requirement.
+    std::vector<int> seed_bits;
+    /// Optional per-signal feasibility bounds clamping every probe's
+    /// binary-search range to [lower, upper]; empty means unbounded
+    /// ([kMinPrecisionBits, kMaxPrecisionBits]). Steps a clamp removes
+    /// from a probe are counted in EvalStats::trials_skipped_by_bounds.
+    std::vector<int> lower_bounds;
+    std::vector<int> upper_bounds;
+
+    friend bool operator==(const WarmStart&, const WarmStart&) = default;
+};
 
 struct SearchOptions {
     double epsilon = 1e-1;                 // output-quality requirement
@@ -85,6 +142,11 @@ struct SearchOptions {
     /// contract above). Ignored when an external EvalEngine is supplied —
     /// the engine's pool is used instead.
     unsigned threads = 1;
+    /// Optional warm start (see WarmStart). Part of the request: two
+    /// searches with the same warm start return the same bits at any
+    /// thread count and cache state; absent, the search is the cold
+    /// all-kMaxPrecisionBits search it always was.
+    std::optional<WarmStart> warm_start{};
 };
 
 struct SignalResult {
@@ -134,5 +196,31 @@ struct TuningResult {
 /// private-engine overload for any cache state.
 [[nodiscard]] TuningResult distributed_search(EvalEngine& engine,
                                               const SearchOptions& options);
+
+/// The warm start a completed search induces for a LOOSER requirement:
+/// seed and upper bounds both at the result's per-signal bits. Quality is
+/// monotone in epsilon — a config meeting a tighter epsilon meets every
+/// looser one — so the seed is feasible there by construction.
+[[nodiscard]] WarmStart warm_start_from(const TuningResult& result);
+
+/// An epsilon sweep with cross-epsilon warm-starting: one
+/// distributed_search per entry of `epsilons` (in order, on one engine),
+/// where each search is seeded — via warm_start_from — with the result of
+/// the TIGHTEST epsilon already completed that does not exceed its own
+/// (for the conventional tight-to-loose order, simply the previous one).
+/// Searches with no tighter predecessor (the first, or any out-of-order
+/// tightening) run with `base.warm_start` as given. With
+/// `warm_start_chain` false every search uses `base.warm_start` verbatim
+/// — the three-independent-searches reference. base.epsilon is ignored;
+/// results are in `epsilons` order, each a pure function of
+/// (app, base, epsilons, warm_start_chain) by the determinism contract.
+[[nodiscard]] std::vector<TuningResult> sweep_search(
+    EvalEngine& engine, const SearchOptions& base,
+    const std::vector<double>& epsilons, bool warm_start_chain = true);
+
+/// Sweep on a private engine (created like distributed_search's).
+[[nodiscard]] std::vector<TuningResult> sweep_search(
+    apps::App& app, const SearchOptions& base,
+    const std::vector<double>& epsilons, bool warm_start_chain = true);
 
 } // namespace tp::tuning

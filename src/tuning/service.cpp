@@ -94,13 +94,14 @@ RequestResult execute_work(EvalEngine& engine, const Request::Work& work) {
                 return cast_aware_search(engine, r.options);
             },
             [&engine](const SweepRequest& r) -> RequestResult {
-                std::vector<TuningResult> results;
-                results.reserve(r.epsilons.size());
-                for (const double epsilon : r.epsilons) {
-                    results.push_back(distributed_search(
-                        engine, resolve(r.options, epsilon, r.input_sets)));
-                }
-                return results;
+                // resolve()'s epsilon is overwritten per entry by
+                // sweep_search; it normalizes input_sets and threads.
+                return sweep_search(engine,
+                                    resolve(r.options, r.epsilons.empty()
+                                                           ? 1e-1
+                                                           : r.epsilons.front(),
+                                            r.input_sets),
+                                    r.epsilons, r.warm_start);
             },
         },
         work);

@@ -82,13 +82,22 @@ struct TuningRequest {
 
 /// An epsilon sweep: one search per requirement, in order, on the app's
 /// shared engine — the overlap between the sweep's own searches is served
-/// from cache. Resolves to one TuningResult per epsilon; each is
+/// from cache. Resolves to one TuningResult per epsilon. With
+/// `warm_start` (the default) the searches are chained by sweep_search
+/// (tuning/search.hpp): each is seeded from the tightest completed
+/// epsilon's result, cutting the trials submitted while every result
+/// still meets its epsilon with per-signal precision at or below the
+/// independent search's; the results are bit-identical to a standalone
+/// sweep_search call — still a pure function of the request, independent
+/// of scheduling — but NOT to standalone per-epsilon TuningRequests.
+/// With `warm_start` false every search runs cold and each result IS
 /// bit-identical to a standalone TuningRequest at that epsilon.
 struct SweepRequest {
     std::string app;
     std::vector<double> epsilons{1e-3, 1e-2, 1e-1};
     std::vector<unsigned> input_sets{0, 1, 2};
     SearchOptions options{};
+    bool warm_start = true;
 };
 
 /// Scheduling class of a request. Higher runs first; within a class,

@@ -305,6 +305,76 @@ TEST_P(AppConformanceTest, SearchIsCacheCoherentAndThreadCountInvariant) {
     EXPECT_EQ(parallel.stats(), cached.stats());
 }
 
+// Cross-epsilon warm-starting (tuning/search.hpp): the chained sweep's
+// per-signal tuned minima are ordered across 1e-3/1e-2/1e-1 and never
+// above the independent searches', every result meets its requirement
+// end-to-end under the bound formats, the chain submits strictly fewer
+// trials than the independent sweep (the cut visible in
+// trials_skipped_by_bounds), and the chained results are bit-identical
+// at threads=4 — the warm-start axis of the determinism contract.
+TEST_P(AppConformanceTest, WarmChainedSweepIsMonotoneFrugalAndFeasible) {
+    const auto app = this->app();
+    const auto base = conformance_search_options();
+    const std::vector<double> epsilons{1e-3, 1e-2, 1e-1};
+
+    tuning::EvalEngine independent_engine{
+        *app, tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+    const auto independent = tuning::sweep_search(independent_engine, base,
+                                                  epsilons,
+                                                  /*warm_start_chain=*/false);
+    tuning::EvalEngine warm_engine{
+        *app, tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+    const auto warm =
+        tuning::sweep_search(warm_engine, base, epsilons,
+                             /*warm_start_chain=*/true);
+    ASSERT_EQ(independent.size(), epsilons.size());
+    ASSERT_EQ(warm.size(), epsilons.size());
+
+    std::size_t independent_trials = 0;
+    std::size_t warm_trials = 0;
+    for (std::size_t e = 0; e < epsilons.size(); ++e) {
+        independent_trials += independent[e].program_runs;
+        warm_trials += warm[e].program_runs;
+    }
+    EXPECT_LT(warm_trials, independent_trials);
+    EXPECT_GT(warm_engine.stats().trials_skipped_by_bounds, 0u);
+    // An unchained sweep clamps nothing.
+    EXPECT_EQ(independent_engine.stats().trials_skipped_by_bounds, 0u);
+
+    for (std::size_t e = 0; e < epsilons.size(); ++e) {
+        for (const unsigned set : base.input_sets) {
+            EXPECT_TRUE(warm_engine.meets(set, warm[e].type_config(),
+                                          epsilons[e]))
+                << GetParam() << ": epsilon " << epsilons[e] << " set " << set;
+        }
+        for (std::size_t i = 0; i < warm[e].signals.size(); ++i) {
+            EXPECT_LE(warm[e].signals[i].precision_bits,
+                      independent[e].signals[i].precision_bits)
+                << GetParam() << ": epsilon " << epsilons[e] << " signal "
+                << warm[e].signals[i].name;
+            if (e > 0) {
+                EXPECT_LE(warm[e].signals[i].precision_bits,
+                          warm[e - 1].signals[i].precision_bits)
+                    << GetParam() << ": minima not ordered at epsilon "
+                    << epsilons[e] << " signal " << warm[e].signals[i].name;
+            }
+        }
+    }
+
+    // Warm-started results are thread-count invariant like everything else.
+    tuning::EvalEngine parallel{
+        *app, tuning::EvalEngine::Options{.threads = 4, .memoize = true}};
+    const auto threaded =
+        tuning::sweep_search(parallel, base, epsilons, /*warm_start_chain=*/true);
+    ASSERT_EQ(threaded.size(), warm.size());
+    for (std::size_t e = 0; e < warm.size(); ++e) {
+        expect_identical_results(warm[e], threaded[e],
+                                 GetParam() + ": threads=4 chained sweep");
+    }
+    EXPECT_EQ(parallel.stats().trials_skipped_by_bounds,
+              warm_engine.stats().trials_skipped_by_bounds);
+}
+
 } // namespace tp::testing
 
 /// Instantiates the battery for a list of app names. `suite_prefix` keys

@@ -122,6 +122,48 @@ TEST(CastAware, CallerSuppliedEngineMatchesPrivateEngine) {
     EXPECT_LT(shared.eval_stats.kernel_runs, reference.eval_stats.kernel_runs);
 }
 
+// options.search carries warm starts into the base search verbatim: a
+// cast-aware pass seeded from a completed plain search at the same
+// epsilon reproduces that warm-started search as its base, submits fewer
+// base trials than the cold pass, and still meets the requirement.
+TEST(CastAware, AcceptsWarmStartedBaseSearch) {
+    auto app = tp::apps::make_app("dwt");
+    const auto options = fast_options();
+    const CastAwareResult cold = cast_aware_search(*app, options);
+
+    auto seed_app = tp::apps::make_app("dwt");
+    const auto seed =
+        tp::tuning::distributed_search(*seed_app, options.search);
+
+    auto warm_options = options;
+    warm_options.search.warm_start = tp::tuning::warm_start_from(seed);
+    auto warm_app = tp::apps::make_app("dwt");
+    const CastAwareResult warm = cast_aware_search(*warm_app, warm_options);
+
+    // The base is exactly the warm-started plain search...
+    auto base_app = tp::apps::make_app("dwt");
+    EXPECT_TRUE(warm.base ==
+                tp::tuning::distributed_search(*base_app, warm_options.search));
+    // ...which is cheaper than the cold base but no less precise-frugal.
+    EXPECT_LT(warm.base.program_runs, cold.base.program_runs);
+    ASSERT_EQ(warm.base.signals.size(), cold.base.signals.size());
+    for (std::size_t i = 0; i < warm.base.signals.size(); ++i) {
+        EXPECT_LE(warm.base.signals[i].precision_bits,
+                  cold.base.signals[i].precision_bits)
+            << warm.base.signals[i].name;
+    }
+    EXPECT_LE(warm.tuned_energy_pj, warm.base_energy_pj);
+    for (unsigned set : options.search.input_sets) {
+        const auto golden = warm_app->golden(set);
+        warm_app->prepare(set);
+        tp::sim::TpContext ctx{tp::sim::TpContext::Config{.trace = false}};
+        const auto out = warm_app->run(ctx, warm.config);
+        EXPECT_TRUE(tp::tuning::meets_requirement(golden, out,
+                                                  options.search.epsilon))
+            << "set " << set;
+    }
+}
+
 TEST(CastAware, MovesReportedConsistently) {
     auto app = tp::apps::make_app("pca");
     const auto result = cast_aware_search(*app, fast_options());

@@ -82,6 +82,17 @@ TuningResult direct(const TuningRequest& request) {
     return distributed_search(*app, options);
 }
 
+/// The chained-sweep reference a SweepRequest (warm_start on, the
+/// default) must reproduce bit-for-bit: a standalone sweep_search over
+/// the same epsilons on a private engine.
+std::vector<TuningResult> direct_sweep(const std::string& app_name) {
+    const auto app = tp::apps::make_app(app_name);
+    SearchOptions base = fast_options();
+    base.input_sets = {0, 1};
+    return tp::tuning::sweep_search(*app, base, {1e-3, 1e-2, 1e-1},
+                                    /*warm_start_chain=*/true);
+}
+
 /// Spins until `handle` leaves kQueued — i.e. a worker has picked it up
 /// (or it completed). Used to pin "the only worker is busy" states.
 void wait_until_started(const TicketHandle& handle) {
@@ -165,9 +176,27 @@ TEST(ServiceScheduler, SubmitMatchesDirectSearchAndReportsExactStats) {
     EXPECT_EQ(handle.stats().trials, result.program_runs);
 }
 
-TEST(ServiceScheduler, SweepVariantMatchesPerEpsilonDirectSearches) {
+TEST(ServiceScheduler, SweepVariantMatchesChainedSweepSearch) {
     TuningService service;
     const TicketHandle handle = service.submit(sweep("dwt"));
+    const std::vector<TuningResult>& results = handle.sweep_results();
+    ASSERT_EQ(results.size(), 3u);
+    const std::vector<TuningResult> reference = direct_sweep("dwt");
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_TRUE(results[i] == reference[i]) << "sweep step " << i;
+    }
+    // One engine serves the sweep; its overlap is served from cache, and
+    // the warm-start chain skipped probe ranges outright.
+    EXPECT_EQ(service.engine_count(), 1u);
+    EXPECT_GT(handle.stats().cache_hits, 0u);
+    EXPECT_GT(handle.stats().trials_skipped_by_bounds, 0u);
+}
+
+TEST(ServiceScheduler, UnchainedSweepMatchesPerEpsilonDirectSearches) {
+    TuningService service;
+    Request request = sweep("dwt");
+    std::get<SweepRequest>(request.work).warm_start = false;
+    const TicketHandle handle = service.submit(std::move(request));
     const std::vector<TuningResult>& results = handle.sweep_results();
     ASSERT_EQ(results.size(), 3u);
     const std::vector<double> epsilons{1e-3, 1e-2, 1e-1};
@@ -175,9 +204,35 @@ TEST(ServiceScheduler, SweepVariantMatchesPerEpsilonDirectSearches) {
         EXPECT_TRUE(results[i] == direct(plain("dwt", epsilons[i])))
             << "epsilon " << epsilons[i];
     }
-    // One engine serves the sweep; its overlap is served from cache.
-    EXPECT_EQ(service.engine_count(), 1u);
-    EXPECT_GT(handle.stats().cache_hits, 0u);
+    EXPECT_EQ(handle.stats().trials_skipped_by_bounds, 0u);
+}
+
+// The warm-start axis of the determinism contract, exercised through the
+// service: a chained sweep returns the same bits on a one-worker service
+// with a cold engine and on a four-worker service whose engine was warmed
+// and raced by other queued requests on the same app.
+TEST(ServiceScheduler, WarmSweepIsIndependentOfWorkersCacheAndNoise) {
+    TuningService cold_service{TuningService::Options{.threads = 1}};
+    const TicketHandle cold = cold_service.submit(sweep("dwt"));
+
+    TuningService noisy_service{TuningService::Options{.threads = 4}};
+    std::vector<TicketHandle> noise;
+    noise.push_back(noisy_service.submit(
+        Request{.work = plain("dwt", 1e-2),
+                .priority = Priority::kInteractive}));
+    noise.push_back(noisy_service.submit(Request{.work = plain("dwt", 1e-1)}));
+    const TicketHandle warm = noisy_service.submit(sweep("dwt"));
+    for (const TicketHandle& handle : noise) handle.wait();
+
+    const std::vector<TuningResult>& cold_results = cold.sweep_results();
+    const std::vector<TuningResult>& warm_results = warm.sweep_results();
+    ASSERT_EQ(cold_results.size(), warm_results.size());
+    for (std::size_t i = 0; i < cold_results.size(); ++i) {
+        EXPECT_TRUE(cold_results[i] == warm_results[i]) << "sweep step " << i;
+    }
+    // Exact per-ticket attribution covers the skip counter too.
+    EXPECT_EQ(cold.stats().trials_skipped_by_bounds,
+              warm.stats().trials_skipped_by_bounds);
 }
 
 TEST(ServiceScheduler, CastAwareVariantMatchesDirectPass) {
@@ -324,7 +379,7 @@ TEST(ServiceScheduler, NoPriorityInversionWithOneWorker) {
     // ...and overtaking changed nothing about either result.
     EXPECT_TRUE(high.search_result() == direct(small));
     const std::vector<TuningResult>& sweep_results = low.sweep_results();
-    EXPECT_TRUE(sweep_results[2] == direct(plain("dwt", 1e-1)));
+    EXPECT_TRUE(sweep_results[2] == direct_sweep("dwt")[2]);
 }
 
 // Four workers: saturate them, queue four sweeps and two interactive

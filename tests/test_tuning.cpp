@@ -112,6 +112,47 @@ TEST(ConfigIo, RoundTripSurvivesCommentsAndBlankLines) {
               result.precision_config());
 }
 
+// A saved config is a warm-start seed: the export of a tuning result
+// reads back — against the app's signal table — as the exact per-signal
+// bits vector, in declaration order.
+TEST(ConfigIo, WarmStartSeedRoundTrip) {
+    auto app = tp::apps::make_app("jacobi");
+    SearchOptions options;
+    options.input_sets = {0};
+    options.max_passes = 1;
+    const auto result = distributed_search(*app, options);
+
+    std::stringstream ss;
+    tp::tuning::write_precision_config(ss, result.precision_config());
+    const std::vector<int> seed =
+        tp::tuning::read_warm_start_seed(ss, app->signal_table());
+    ASSERT_EQ(seed.size(), result.signals.size());
+    for (std::size_t i = 0; i < seed.size(); ++i) {
+        EXPECT_EQ(seed[i], result.signals[i].precision_bits)
+            << result.signals[i].name;
+    }
+}
+
+TEST(ConfigIo, SeedBitsRequireCompleteCoverage) {
+    const auto app = tp::apps::make_app("jacobi");
+    const auto& table = app->signal_table();
+
+    // A config missing a declared signal names the gap.
+    tp::tuning::PrecisionConfig partial{{"grid", 12}, {"coeff", 3}};
+    try {
+        (void)tp::tuning::seed_bits_from_config(partial, table);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("grid_in"), std::string::npos);
+    }
+
+    // An unknown signal is rejected by validation, same as read paths.
+    tp::tuning::PrecisionConfig unknown{
+        {"grid", 12}, {"coeff", 3}, {"grid_in", 5}, {"tmp", 24}, {"ghost", 7}};
+    EXPECT_THROW((void)tp::tuning::seed_bits_from_config(unknown, table),
+                 std::runtime_error);
+}
+
 SearchOptions fast_options(double epsilon, tp::TypeSystemKind kind) {
     SearchOptions options;
     options.epsilon = epsilon;
@@ -255,6 +296,107 @@ TEST(Search, DeterministicAcrossRuns) {
     ASSERT_EQ(a.signals.size(), b.signals.size());
     for (std::size_t i = 0; i < a.signals.size(); ++i) {
         EXPECT_EQ(a.signals[i].precision_bits, b.signals[i].precision_bits);
+    }
+}
+
+// A malformed warm start is rejected before any trial runs: the search
+// throws std::invalid_argument and the engine submits nothing.
+TEST(Search, WarmStartIsValidatedAgainstTheSignalTable) {
+    auto app = tp::apps::make_app("dwt");
+    const std::size_t n = app->signals().size();
+    auto options = fast_options(1e-2, tp::TypeSystemKind::V2);
+
+    const auto expect_rejected = [&](tp::tuning::WarmStart bad) {
+        options.warm_start = std::move(bad);
+        EXPECT_THROW((void)distributed_search(*app, options),
+                     std::invalid_argument);
+    };
+
+    tp::tuning::WarmStart wrong_size;
+    wrong_size.seed_bits.assign(n + 1, 12);
+    expect_rejected(wrong_size);
+
+    tp::tuning::WarmStart out_of_range;
+    out_of_range.seed_bits.assign(n, 12);
+    out_of_range.seed_bits[0] = tp::kMaxPrecisionBits + 1;
+    expect_rejected(out_of_range);
+
+    tp::tuning::WarmStart below_min;
+    below_min.seed_bits.assign(n, 12);
+    below_min.seed_bits[0] = tp::kMinPrecisionBits - 1;
+    expect_rejected(below_min);
+
+    tp::tuning::WarmStart bad_bounds;
+    bad_bounds.seed_bits.assign(n, 12);
+    bad_bounds.lower_bounds.assign(n, 8);
+    bad_bounds.upper_bounds.assign(n, 4); // lower > upper
+    expect_rejected(bad_bounds);
+
+    tp::tuning::WarmStart short_bounds;
+    short_bounds.seed_bits.assign(n, 12);
+    short_bounds.upper_bounds.assign(n - 1, 12); // bounds are all-or-none
+    expect_rejected(short_bounds);
+}
+
+// A warm start seeded from a result at the SAME requirement can only
+// remove work: per-signal bits never exceed the cold search's and
+// program_runs shrinks (the clamped bisections and elided verifications
+// are reported, not silently dropped).
+TEST(Search, WarmStartFromOwnResultIsFrugalAndNoLessPrecise) {
+    const auto options = fast_options(1e-2, tp::TypeSystemKind::V2);
+    auto cold_app = tp::apps::make_app("pca");
+    const auto cold = distributed_search(*cold_app, options);
+
+    auto warm_options = options;
+    warm_options.warm_start = tp::tuning::warm_start_from(cold);
+    auto warm_app = tp::apps::make_app("pca");
+    const auto warm = distributed_search(*warm_app, warm_options);
+
+    EXPECT_LT(warm.program_runs, cold.program_runs);
+    ASSERT_EQ(warm.signals.size(), cold.signals.size());
+    for (std::size_t i = 0; i < warm.signals.size(); ++i) {
+        EXPECT_LE(warm.signals[i].precision_bits,
+                  cold.signals[i].precision_bits)
+            << warm.signals[i].name;
+    }
+}
+
+// sweep_search's chaining is exactly "seed each epsilon with
+// warm_start_from of the tightest completed predecessor": the in-order
+// sweep must reproduce a hand-rolled chain bit for bit, and the
+// unchained sweep must reproduce independent searches.
+TEST(Search, SweepSearchMatchesHandRolledWarmStartChain) {
+    const std::vector<double> epsilons{1e-3, 1e-2, 1e-1};
+    const auto base = fast_options(0.0, tp::TypeSystemKind::V2);
+
+    auto sweep_app = tp::apps::make_app("dwt");
+    const auto chained =
+        tp::tuning::sweep_search(*sweep_app, base, epsilons, true);
+    ASSERT_EQ(chained.size(), epsilons.size());
+
+    auto manual_app = tp::apps::make_app("dwt");
+    std::vector<tp::tuning::TuningResult> manual;
+    for (const double epsilon : epsilons) {
+        auto options = base;
+        options.epsilon = epsilon;
+        if (!manual.empty()) {
+            options.warm_start = tp::tuning::warm_start_from(manual.back());
+        }
+        manual.push_back(distributed_search(*manual_app, options));
+    }
+    for (std::size_t e = 0; e < epsilons.size(); ++e) {
+        EXPECT_TRUE(chained[e] == manual[e]) << "epsilon " << epsilons[e];
+    }
+
+    auto independent_app = tp::apps::make_app("dwt");
+    const auto independent =
+        tp::tuning::sweep_search(*independent_app, base, epsilons, false);
+    for (std::size_t e = 0; e < epsilons.size(); ++e) {
+        auto options = base;
+        options.epsilon = epsilons[e];
+        auto direct_app = tp::apps::make_app("dwt");
+        EXPECT_TRUE(independent[e] == distributed_search(*direct_app, options))
+            << "epsilon " << epsilons[e];
     }
 }
 
