@@ -250,6 +250,83 @@ int main() {
     const bool headline_cut = apps_with_headline_cut >= 7;
     std::printf("\n%d/9 apps cut trials by >= 25%%\n", apps_with_headline_cut);
 
+    // --- Static precision-dataflow bounds --------------------------------
+    // The cut available BEFORE any trial history exists: a cold,
+    // never-tuned app, one epsilon, and SearchOptions::static_bounds
+    // resolving analysis::derive_warm_start from shadow reference
+    // executions alone (analysis/derive_bounds.hpp). The soundness
+    // contract makes the bounded search's signals bit-identical to the
+    // cold search's — checked per app — while probe bisections clamp
+    // against the derived lower bounds and book their savings in
+    // EvalStats::trials_skipped_by_bounds. Gates: identical signals on
+    // 9/9 apps, skipped trials > 0 on >= 7 of 9.
+    std::printf("\n# static bounds — cold single-epsilon search, "
+                "derive_warm_start vs unassisted (epsilon %g)\n\n",
+                tp::bench::kEpsilons.front());
+    std::printf("%-8s %-9s %-9s %-9s %-9s %-8s %s\n", "app", "cold_tr",
+                "stat_tr", "cold_rn", "stat_rn", "skipped", "identical");
+
+    int apps_with_skips = 0;
+    bool all_static_identical = true;
+    auto static_json = tp::bench::Json::array();
+    for (const std::string& app_name : tp::apps::app_names()) {
+        auto app = tp::apps::make_app(app_name);
+        const auto base = options_for(tp::bench::kEpsilons.front());
+
+        tp::tuning::EvalEngine cold_engine{
+            *app,
+            tp::tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+        const auto cold_start = Clock::now();
+        const auto cold = tp::tuning::distributed_search(cold_engine, base);
+        const double cold_seconds = seconds_since(cold_start);
+        const auto cold_stats = cold_engine.stats();
+
+        auto bounded_options = base;
+        bounded_options.static_bounds = true;
+        tp::tuning::EvalEngine bounded_engine{
+            *app,
+            tp::tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+        const auto bounded_start = Clock::now();
+        const auto bounded =
+            tp::tuning::distributed_search(bounded_engine, bounded_options);
+        const double bounded_seconds = seconds_since(bounded_start);
+        const auto bounded_stats = bounded_engine.stats();
+
+        // program_runs legitimately shrinks; the tuned signals must not.
+        bool same_signals = cold.signals.size() == bounded.signals.size();
+        for (std::size_t i = 0; same_signals && i < cold.signals.size(); ++i) {
+            same_signals = cold.signals[i].name == bounded.signals[i].name &&
+                           cold.signals[i].precision_bits ==
+                               bounded.signals[i].precision_bits &&
+                           cold.signals[i].bound == bounded.signals[i].bound;
+        }
+        all_static_identical = all_static_identical && same_signals;
+        if (bounded_stats.trials_skipped_by_bounds > 0) ++apps_with_skips;
+
+        std::printf("%-8s %-9zu %-9zu %-9zu %-9zu %-8zu %s\n",
+                    app_name.c_str(), cold_stats.trials, bounded_stats.trials,
+                    cold.program_runs, bounded.program_runs,
+                    bounded_stats.trials_skipped_by_bounds,
+                    same_signals ? "yes" : "NO");
+
+        static_json.item_raw(
+            tp::bench::Json::object()
+                .field("app", app_name)
+                .field("cold_trials", cold_stats.trials)
+                .field("static_trials", bounded_stats.trials)
+                .field("cold_program_runs", cold.program_runs)
+                .field("static_program_runs", bounded.program_runs)
+                .field("trials_skipped_by_bounds",
+                       bounded_stats.trials_skipped_by_bounds)
+                .field("cold_wall_seconds", cold_seconds)
+                .field("static_wall_seconds", bounded_seconds)
+                .field("identical_signals", same_signals)
+                .str(2));
+    }
+    const bool static_skips_gate = apps_with_skips >= 7;
+    std::printf("\n%d/9 apps skipped trials via static bounds\n",
+                apps_with_skips);
+
     // --- Arithmetic-backend A/B ------------------------------------------
     // Same uncached sweep with the backend pinned per engine through
     // Options::force_emulated: native fast path vs forced emulation,
@@ -330,6 +407,8 @@ int main() {
                          .raw("apps", apps_json.str(2))
                          .field("apps_with_cut_ge_25pct", apps_with_headline_cut)
                          .raw("sweep_warm_start", warm_json.str(2))
+                         .field("apps_with_static_skips", apps_with_skips)
+                         .raw("static_bounds", static_json.str(2))
                          .raw("backend_ab", backend_json.str(2));
     std::ofstream out{"BENCH_eval_engine.json"};
     out << doc.str() << "\n";
@@ -351,6 +430,15 @@ int main() {
     if (!headline_cut) {
         std::printf("FAIL: warm-started sweep cut trials by >= 25%% on only "
                     "%d/9 apps (need 7)\n", apps_with_headline_cut);
+        return 1;
+    }
+    if (!all_static_identical) {
+        std::printf("FAIL: a static-bounds search changed the tuned signals\n");
+        return 1;
+    }
+    if (!static_skips_gate) {
+        std::printf("FAIL: static bounds skipped trials on only %d/9 apps "
+                    "(need 7)\n", apps_with_skips);
         return 1;
     }
     std::printf("cached and uncached searches returned bit-identical results\n");

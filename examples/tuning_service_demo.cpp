@@ -17,6 +17,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/derive_bounds.hpp"
 #include "apps/app.hpp"
 #include "tuning/config_io.hpp"
 #include "tuning/search.hpp"
@@ -146,6 +147,21 @@ int main(int argc, char** argv) {
         std::cout << "re-tuning pca @1e-2 seeded from the saved 1e-3 "
                      "config: "
                   << warm.program_runs << " trials\n";
+    }
+
+    // Before any of those trials ran, the static analysis could already
+    // have said a lot: one shadow reference execution per input set yields
+    // sound per-signal precision lower bounds (what static_bounds feeds
+    // the search) plus a precision lint over the captured dataflow —
+    // redundant casts, double-rounding hazards, signals whose whole range
+    // sits below the narrow formats' normal numbers.
+    {
+        const auto app = tp::apps::make_app("iir");
+        tp::analysis::DeriveOptions options;
+        options.input_sets = {0, 1};
+        const auto analysis = tp::analysis::analyze(*app, 1e-2, options);
+        std::cout << "\nstatic analysis (no trials):\n"
+                  << analysis.to_string();
     }
 
     // The synchronous batch API survives as a wrapper over submit():

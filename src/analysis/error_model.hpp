@@ -1,0 +1,75 @@
+// First-order rounding-error propagation over a shadow capture — the core
+// of pass 2 of the static precision-dataflow analysis.
+//
+// Every value id of the captured binary64 reference execution gets two
+// coefficient rows, one entry per signal s:
+//
+//   abs_coeff[id][s] — worst-case first-order sensitivity: |value(id) -
+//     value'(id)| <= sum_s abs_coeff[id][s] * u_s when every rounding into
+//     signal s perturbs relatively by at most u_s = 2^-precision(s).
+//   var_coeff[id][s] — the same propagation with variances: each rounding
+//     into s is modelled as an independent zero-mean perturbation uniform
+//     in [-r*u_s, +r*u_s] (variance r^2 u_s^2 / 3 at result magnitude r),
+//     and coefficients add in quadrature through the linearized dataflow.
+//
+// The variance rows are what the bound derivation (derive_bounds.cpp)
+// inverts: the tuner's quality metric is a relative RMS, and the RMS of
+// many independent roundings concentrates at the quadrature sum, not the
+// worst case — the abs rows serve the (deliberately inflated) static range
+// enclosures of range_analysis.cpp instead.
+//
+// Propagation is linear in the trace: one pass, O(signal_count) per
+// instruction, using the recorded binary64 values as the linearization
+// point. Memory round-trips keep per-stream running state (elementwise max
+// for abs, running mean for var) so array-resident error re-enters through
+// loads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/signal_flow.hpp"
+#include "sim/trace.hpp"
+
+namespace tp::analysis {
+
+/// Concrete per-signal value statistics of the shadow reference execution
+/// (the dynamic ranges the exponent-width floors come from).
+struct SignalObservation {
+    double min_value = 0.0;
+    double max_value = 0.0;
+    double max_abs = 0.0;
+    double min_abs_nonzero = 0.0; // 0 when the signal only held zeros
+    std::size_t count = 0;
+};
+
+class ErrorModel {
+public:
+    std::size_t signal_count = 0;
+    std::size_t value_count = 0;
+    /// Flat [value_count x signal_count] coefficient matrices (see header
+    /// comment); rows of non-FP ids stay zero.
+    std::vector<double> abs_coeff;
+    std::vector<double> var_coeff;
+    /// The recorded binary64 value per id (copied out of the capture so
+    /// range analysis needs no second look at the program).
+    std::vector<double> values;
+    std::vector<SignalObservation> observed;
+
+    [[nodiscard]] std::span<const double> abs_row(std::int32_t id) const noexcept {
+        return {abs_coeff.data() + static_cast<std::size_t>(id) * signal_count,
+                signal_count};
+    }
+    [[nodiscard]] std::span<const double> var_row(std::int32_t id) const noexcept {
+        return {var_coeff.data() + static_cast<std::size_t>(id) * signal_count,
+                signal_count};
+    }
+};
+
+/// One propagation pass over the capture. `program` must carry value
+/// records (record_values capture); `flow` must be built from it.
+[[nodiscard]] ErrorModel build_error_model(const sim::TraceProgram& program,
+                                           const SignalFlowGraph& flow);
+
+} // namespace tp::analysis

@@ -1,0 +1,68 @@
+// Precision lint — pass 3 of the static precision-dataflow analysis.
+//
+// Instruction-level checks (lint_trace) inspect the concrete formats of any
+// recorded trace: casts that convert a value to the format it already has,
+// and cast chains that double-round — a wide value squeezed through an
+// intermediate format narrow enough that the two roundings can differ from
+// the single direct rounding (the innocuous-double-rounding criterion,
+// prec_mid >= 2 * prec_final + 2, violated).
+//
+// Signal-level checks ride on the full analysis (derive_bounds.cpp feeds
+// them): accumulation chains whose error growth makes the requested
+// epsilon statically infeasible at the precision floor, signals whose
+// entire dynamic range sits below the normal range of the narrow-exponent
+// formats (they would be forced subnormal or flushed), and structural
+// double-rounding hazards between signal bindings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace tp::analysis {
+
+enum class LintKind : std::uint8_t {
+    /// FpCast whose source and target formats are identical.
+    RedundantCast,
+    /// Cast-of-cast through an intermediate format that double-rounds.
+    DoubleRounding,
+    /// Accumulation chain that cannot meet epsilon at kMinPrecisionBits.
+    InfeasibleAccumulation,
+    /// Signal whose whole value range is subnormal in narrow-exponent
+    /// formats.
+    SubnormalRange,
+};
+
+[[nodiscard]] std::string_view name_of(LintKind kind) noexcept;
+
+struct LintDiagnostic {
+    LintKind kind = LintKind::RedundantCast;
+    /// Index into TraceProgram::instrs for instruction-level diagnostics,
+    /// -1 for signal-level ones.
+    std::int64_t instr_index = -1;
+    /// Offending signal for signal-level diagnostics, -1 otherwise.
+    std::int32_t signal = -1;
+    std::string message;
+};
+
+struct LintReport {
+    std::vector<LintDiagnostic> diagnostics;
+
+    [[nodiscard]] std::size_t count(LintKind kind) const noexcept;
+    [[nodiscard]] bool empty() const noexcept { return diagnostics.empty(); }
+    /// One line per diagnostic, "kind: message" — demo / log friendly.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Instruction-level lint over a recorded trace's concrete formats.
+/// Duplicate findings (the same cast site re-executed each loop iteration)
+/// are folded into one diagnostic with an occurrence count.
+[[nodiscard]] LintReport lint_trace(const sim::TraceProgram& program);
+
+/// "e<exp>m<mant>" with the paper's name appended when the format is one
+/// of the named four (diagnostic texts).
+[[nodiscard]] std::string format_name(FpFormat fmt);
+
+} // namespace tp::analysis

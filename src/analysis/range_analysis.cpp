@@ -1,0 +1,62 @@
+#include "analysis/range_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tp::analysis {
+
+namespace {
+
+int exponent_floor(double max_abs) noexcept {
+    for (int e = 1; e <= 11; ++e) {
+        const int bias = (1 << (e - 1)) - 1;
+        if (max_abs < std::ldexp(1.0, bias + 1)) return e;
+    }
+    return 11;
+}
+
+} // namespace
+
+std::vector<StaticRange> static_signal_ranges(const ErrorModel& model,
+                                              const SignalFlowGraph& flow,
+                                              std::span<const double> u_per_signal,
+                                              double inflation) {
+    const std::size_t S = model.signal_count;
+    std::vector<double> max_drift(S, 0.0);
+    for (std::size_t id = 0; id < model.value_count; ++id) {
+        const std::int32_t sig = flow.value_signal[id];
+        if (sig < 0) continue;
+        const std::span<const double> row =
+            model.abs_row(static_cast<std::int32_t>(id));
+        double drift = 0.0;
+        for (std::size_t s = 0; s < S && s < u_per_signal.size(); ++s) {
+            drift += row[s] * u_per_signal[s];
+        }
+        max_drift[static_cast<std::size_t>(sig)] =
+            std::max(max_drift[static_cast<std::size_t>(sig)], drift);
+    }
+
+    std::vector<StaticRange> ranges(S);
+    for (std::size_t s = 0; s < S; ++s) {
+        const SignalObservation& obs = model.observed[s];
+        StaticRange& range = ranges[s];
+        if (obs.count == 0) continue;
+        const double pad = inflation * max_drift[s];
+        range.lo = obs.min_value - pad;
+        range.hi = obs.max_value + pad;
+        range.max_abs = std::max(std::fabs(range.lo), std::fabs(range.hi));
+        range.exp_floor_bits = exponent_floor(range.max_abs);
+        range.populated = true;
+    }
+    return ranges;
+}
+
+std::vector<StaticRange> static_signal_ranges_at_uniform(
+    const ErrorModel& model, const SignalFlowGraph& flow, int precision_bits,
+    double inflation) {
+    const std::vector<double> u(model.signal_count,
+                                std::ldexp(1.0, -precision_bits));
+    return static_signal_ranges(model, flow, u, inflation);
+}
+
+} // namespace tp::analysis

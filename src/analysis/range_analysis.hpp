@@ -1,0 +1,47 @@
+// Forward interval analysis over a shadow capture — the range half of
+// pass 2.
+//
+// The captured binary64 execution gives each signal its exact reference
+// value range; the error model bounds how far any tuned-format execution
+// can drift from that reference to first order. Widening the observed
+// per-signal hull by the worst-case drift (times a safety inflation — the
+// propagation is first-order, not exact) yields a static enclosure of the
+// values the signal can take under ANY format assignment at least as
+// precise as `u_per_signal`, and from the enclosure an exponent-width
+// floor: the narrowest exponent field that can represent the signal's
+// dynamic range without overflow.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/error_model.hpp"
+
+namespace tp::analysis {
+
+struct StaticRange {
+    double lo = 0.0;
+    double hi = 0.0;
+    double max_abs = 0.0;
+    /// Narrowest exponent width (1..11) whose normal range holds max_abs;
+    /// 11 when even binary64's range is exceeded (never for golden-clean
+    /// captures).
+    int exp_floor_bits = 1;
+    /// False for signals that recorded no values (dead signals).
+    bool populated = false;
+};
+
+/// The enclosure per signal: observed hull +- inflation * worst-case
+/// first-order drift, drift evaluated at per-signal rounding steps
+/// `u_per_signal` (u_s = 2^-precision_s). `inflation` >= 1 absorbs the
+/// linearization error.
+[[nodiscard]] std::vector<StaticRange> static_signal_ranges(
+    const ErrorModel& model, const SignalFlowGraph& flow,
+    std::span<const double> u_per_signal, double inflation = 2.0);
+
+/// Convenience: a uniform rounding step u = 2^-precision_bits everywhere.
+[[nodiscard]] std::vector<StaticRange> static_signal_ranges_at_uniform(
+    const ErrorModel& model, const SignalFlowGraph& flow, int precision_bits,
+    double inflation = 2.0);
+
+} // namespace tp::analysis

@@ -108,6 +108,18 @@ private:
     friend class sim::TpArray;
     friend class sim::TpContext;
 
+    /// Adopts `value` WITHOUT rounding it to `format` — the value may not
+    /// be representable. Only the tracing context's binary64 shadow mode
+    /// (sim/context.hpp Config::binary64_shadow) uses this: there the
+    /// format is a pure dataflow tag and every value is computed in plain
+    /// binary64, so the from_rounded() invariant intentionally fails.
+    static FlexFloatDyn from_raw(double value, FpFormat format) noexcept {
+        FlexFloatDyn result;
+        result.value_ = value;
+        result.format_ = format;
+        return result;
+    }
+
     /// Adopts a value the arithmetic backend already rounded to `format` —
     /// skips the construction-time re-round. Callers promise the invariant.
     static FlexFloatDyn from_rounded(double value, FpFormat format) noexcept {

@@ -1,5 +1,7 @@
 #include "sim/context.hpp"
 
+#include <cmath>
+
 #include "flexfloat/arith_backend.hpp"
 #include "sim/vectorize.hpp"
 
@@ -7,14 +9,31 @@ namespace tp::sim {
 
 namespace {
 
+/// Plain binary64 evaluation for shadow captures: the op's exact IEEE
+/// double result, no re-rounding to the (tag) format.
+double shadow_eval(FpOp op, double a, double b) noexcept {
+    switch (op) {
+    case FpOp::Add: return a + b;
+    case FpOp::Sub: return a - b;
+    case FpOp::Mul: return a * b;
+    case FpOp::Div: return a / b;
+    case FpOp::Sqrt: return std::sqrt(a);
+    case FpOp::Neg: return -a;
+    case FpOp::Abs: return std::fabs(a);
+    default: return a;
+    }
+}
+
 /// One rounded op through the backend seam, honoring the owning context's
 /// force_emulated policy (the arith entry points already honor the
-/// process/thread knobs).
+/// process/thread knobs) — or the unrounded binary64 result in shadow mode.
 double routed(const TpContext* ctx, FpOp op, double a, double b,
               FpFormat format) noexcept {
+    if (ctx->shadow()) return shadow_eval(op, a, b);
     return ctx->force_emulated() ? arith::emulated(op, a, b, format)
                                  : arith::arith(op, a, b, format);
 }
+
 
 void record_op(FpFormat format, FpOp op) noexcept {
     if (stats_enabled()) thread_stats().record_op(format, op);
@@ -35,7 +54,8 @@ TpValue TpValue::binary(FpOp op, const TpValue& a, const TpValue& b) {
     record_op(fmt, op);
     const double r = routed(ctx, op, a.to_double(), b.to_double(), fmt);
     const std::int32_t id = ctx->emit_fp(op, fmt, a.id_, b.id_);
-    return TpValue{ctx, FlexFloatDyn::from_rounded(r, fmt), id};
+    ctx->record_value(id, r, fmt);
+    return TpValue{ctx, TpContext::adopt(ctx, r, fmt), id};
 }
 
 TpValue TpValue::unary(FpOp op, const TpValue& a) {
@@ -44,7 +64,8 @@ TpValue TpValue::unary(FpOp op, const TpValue& a) {
     record_op(fmt, op);
     const double r = routed(a.ctx_, op, a.to_double(), a.to_double(), fmt);
     const std::int32_t id = a.ctx_->emit_fp(op, fmt, a.id_, -1);
-    return TpValue{a.ctx_, FlexFloatDyn::from_rounded(r, fmt), id};
+    a.ctx_->record_value(id, r, fmt);
+    return TpValue{a.ctx_, TpContext::adopt(a.ctx_, r, fmt), id};
 }
 
 bool TpValue::compare(const TpValue& a, const TpValue& b, bool result) {
@@ -85,12 +106,16 @@ TpValue TpValue::ternary(FpOp op, const TpValue& a, const TpValue& b,
     const FpFormat fmt = a.format();
     record_op(fmt, op);
     const double r =
-        ctx->force_emulated()
-            ? arith::emulated_fma(a.to_double(), b.to_double(), c.to_double(),
-                                  fmt)
-            : arith::fma(a.to_double(), b.to_double(), c.to_double(), fmt);
+        ctx->shadow()
+            ? std::fma(a.to_double(), b.to_double(), c.to_double())
+            : (ctx->force_emulated()
+                   ? arith::emulated_fma(a.to_double(), b.to_double(),
+                                         c.to_double(), fmt)
+                   : arith::fma(a.to_double(), b.to_double(), c.to_double(),
+                                fmt));
     const std::int32_t id = ctx->emit_fp(op, fmt, a.id_, b.id_, c.id_);
-    return TpValue{ctx, FlexFloatDyn::from_rounded(r, fmt), id};
+    ctx->record_value(id, r, fmt);
+    return TpValue{ctx, TpContext::adopt(ctx, r, fmt), id};
 }
 
 TpValue fma(const TpValue& a, const TpValue& b, const TpValue& c) {
@@ -113,11 +138,14 @@ bool operator>=(const TpValue& a, const TpValue& b) {
 TpValue TpValue::cast_to(FpFormat target) const {
     assert(ctx_ != nullptr);
     if (stats_enabled()) thread_stats().record_cast(format(), target);
-    const double r = ctx_->force_emulated()
-                         ? arith::emulated_cast(to_double(), target)
-                         : arith::cast(to_double(), target);
+    const double r = ctx_->shadow()
+                         ? to_double() // tags change, the value never rounds
+                         : (ctx_->force_emulated()
+                                ? arith::emulated_cast(to_double(), target)
+                                : arith::cast(to_double(), target));
     const std::int32_t id = ctx_->emit_cast(format(), target, id_);
-    return TpValue{ctx_, FlexFloatDyn::from_rounded(r, target), id};
+    ctx_->record_value(id, r, target);
+    return TpValue{ctx_, TpContext::adopt(ctx_, r, target), id};
 }
 
 // --- TpArray ---------------------------------------------------------------
@@ -125,9 +153,10 @@ TpValue TpValue::cast_to(FpFormat target) const {
 TpValue TpArray::load(std::size_t i) {
     assert(i < data_.size());
     const std::int32_t id = ctx_->emit_load(stream_, format_);
+    ctx_->record_value(id, data_[i], format_);
     // Backing-store values are already quantized to the element format
     // (set_raw / store), so the load skips the construction-time re-round.
-    return TpValue{ctx_, FlexFloatDyn::from_rounded(data_[i], format_), id};
+    return TpValue{ctx_, TpContext::adopt(ctx_, data_[i], format_), id};
 }
 
 void TpArray::store(std::size_t i, const TpValue& value) {
@@ -135,6 +164,7 @@ void TpArray::store(std::size_t i, const TpValue& value) {
     assert(value.format() == format_ &&
            "store requires the array's element format; cast explicitly");
     ctx_->emit_store(stream_, format_, value.id_);
+    if (!writers_.empty()) writers_[i] = value.id_;
     data_[i] = value.to_double(); // already sanitized to this format
 }
 
@@ -154,9 +184,13 @@ TpValue TpContext::from_int(std::int64_t value, FpFormat format) {
     }
     if (stats_enabled()) thread_stats().record_op(format, FpOp::FromInt);
     const double raw = static_cast<double>(value);
-    const double r = config_.force_emulated ? arith::emulated_cast(raw, format)
-                                            : arith::cast(raw, format);
-    return TpValue{this, FlexFloatDyn::from_rounded(r, format), id};
+    const double r = config_.binary64_shadow
+                         ? raw
+                         : (config_.force_emulated
+                                ? arith::emulated_cast(raw, format)
+                                : arith::cast(raw, format));
+    record_value(id, r, format);
+    return TpValue{this, TpContext::adopt(this, r, format), id};
 }
 
 void TpContext::int_ops(int n) {
@@ -247,7 +281,11 @@ TraceProgram TpContext::take_program(bool apply_simd) {
     TraceProgram program;
     program.instrs = std::move(trace_);
     program.value_count = value_count_;
+    program.values = std::move(values_);
+    program.output_taps = std::move(taps_);
     trace_ = Trace{};
+    values_.clear();
+    taps_.clear();
     value_count_ = 0;
     if (apply_simd) vectorize(program);
     return program;

@@ -88,16 +88,14 @@ public:
     [[nodiscard]] FpFormat format() const noexcept { return format_; }
     [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
 
-    /// Setup-time write: quantized to the element format, no instruction.
-    void set_raw(std::size_t i, double value) noexcept {
-        assert(i < data_.size());
-        data_[i] = quantize(value, format_);
-    }
-    /// Readout without instruction emission.
-    [[nodiscard]] double raw(std::size_t i) const noexcept {
-        assert(i < data_.size());
-        return data_[i];
-    }
+    /// Setup-time write: quantized to the element format (kept exact in
+    /// binary64 shadow mode), no instruction. Defined after TpContext.
+    void set_raw(std::size_t i, double value) noexcept;
+    /// Readout without instruction emission. Under a record_values capture
+    /// each read is additionally recorded as an output tap (the element's
+    /// last-stored value id, format and value) — the anchor points the
+    /// static analysis inverts its error model at. Defined after TpContext.
+    [[nodiscard]] double raw(std::size_t i) const;
 
     /// Simulated load: one data memory access of storage_bytes() width.
     [[nodiscard]] TpValue load(std::size_t i);
@@ -107,13 +105,15 @@ public:
 
 private:
     friend class TpContext;
-    TpArray(TpContext* ctx, std::uint32_t stream, FpFormat format, std::size_t n)
-        : ctx_(ctx), stream_(stream), format_(format), data_(n, 0.0) {}
+    TpArray(TpContext* ctx, std::uint32_t stream, FpFormat format, std::size_t n);
 
     TpContext* ctx_;
     std::uint32_t stream_;
     FpFormat format_;
     std::vector<double> data_;
+    /// Last value id stored per element (-1 for set_raw-only elements);
+    /// allocated only under record_values captures, else empty.
+    std::vector<std::int32_t> writers_;
 };
 
 class TpContext {
@@ -126,18 +126,42 @@ public:
         /// process/thread knobs in flexfloat/arith_backend.hpp force the
         /// emulated path independently of this flag.
         bool force_emulated = false;
+        /// Record the concrete value (and creation format) of every SSA id
+        /// into TraceProgram::values, and every TpArray::raw() readout into
+        /// TraceProgram::output_taps. Requires trace — the records are
+        /// keyed by the ids the trace assigns. Static-analysis captures
+        /// (src/analysis/) are the only intended user.
+        bool record_values = false;
+        /// Compute every operation in plain binary64, ignoring the formats
+        /// (which stay recorded in the trace): casts and loads pass values
+        /// through, set_raw skips quantization, arithmetic never rounds.
+        /// Control flow then follows the binary64 golden execution exactly,
+        /// turning the per-value formats into pure dataflow tags — the
+        /// shadow reference run the static analysis captures once per
+        /// input set (with a per-signal tagging config, the format of a
+        /// value identifies the signal that produced it).
+        bool binary64_shadow = false;
     };
 
     TpContext() : TpContext(Config{}) {}
-    explicit TpContext(Config config) : config_(config) {}
+    explicit TpContext(Config config) : config_(config) {
+        assert((!config_.record_values || config_.trace) &&
+               "record_values keys value records by trace-assigned ids");
+    }
     TpContext(const TpContext&) = delete;
     TpContext& operator=(const TpContext&) = delete;
 
     /// A register-resident constant: no instruction is emitted (the value
     /// is materialized once outside the measured kernel, like FP literals
-    /// kept in registers by the compiler).
+    /// kept in registers by the compiler), but the id IS recorded under
+    /// record_values — constants are the leaves of the dataflow graph.
     [[nodiscard]] TpValue constant(double value, FpFormat format) {
-        return TpValue{this, FlexFloatDyn{value, format}, next_id()};
+        const FlexFloatDyn ff = config_.binary64_shadow
+                                    ? FlexFloatDyn::from_raw(value, format)
+                                    : FlexFloatDyn{value, format};
+        const std::int32_t id = next_id();
+        record_value(id, ff.value(), format);
+        return TpValue{this, ff, id};
     }
 
     /// Integer -> FP conversion instruction (e.g. loop index entering the
@@ -165,6 +189,12 @@ public:
     [[nodiscard]] VectorRegionGuard vector_region() { return VectorRegionGuard{}; }
 
     [[nodiscard]] bool tracing() const noexcept { return config_.trace; }
+    [[nodiscard]] bool recording() const noexcept {
+        return config_.record_values;
+    }
+    [[nodiscard]] bool shadow() const noexcept {
+        return config_.binary64_shadow;
+    }
 
     /// Backend override for this context's instructions (see Config).
     [[nodiscard]] bool force_emulated() const noexcept {
@@ -192,10 +222,56 @@ private:
     std::int32_t emit_load(std::uint32_t stream, FpFormat fmt);
     void emit_store(std::uint32_t stream, FpFormat fmt, std::int32_t src);
 
+    /// Wraps a backend result in a FlexFloatDyn: adopted as-rounded
+    /// normally, adopted raw (possibly unrepresentable in `format`) in
+    /// shadow mode. Static so TpValue/TpArray (friends) reach FlexFloatDyn's
+    /// private adopters through one seam.
+    static FlexFloatDyn adopt(const TpContext* ctx, double value,
+                              FpFormat format) noexcept {
+        return ctx->shadow() ? FlexFloatDyn::from_raw(value, format)
+                             : FlexFloatDyn::from_rounded(value, format);
+    }
+
+    /// Books the concrete value an id took (record_values captures only).
+    /// Ids are dense and assigned in creation order, so the records vector
+    /// stays aligned with them by construction.
+    void record_value(std::int32_t id, double value, FpFormat fmt) {
+        if (!config_.record_values || id < 0) return;
+        assert(static_cast<std::size_t>(id) == values_.size() &&
+               "value records must track id assignment 1:1");
+        values_.push_back(ValueRecord{value, fmt});
+    }
+
+    void note_output_tap(FpFormat fmt, std::int32_t value_id, double value) {
+        taps_.push_back(OutputTap{value, fmt, value_id});
+    }
+
     Config config_;
     Trace trace_;
     std::size_t value_count_ = 0;
     std::uint32_t next_stream_ = 1;
+    std::vector<ValueRecord> values_;
+    std::vector<OutputTap> taps_;
 };
+
+inline TpArray::TpArray(TpContext* ctx, std::uint32_t stream, FpFormat format,
+                        std::size_t n)
+    : ctx_(ctx), stream_(stream), format_(format), data_(n, 0.0) {
+    if (ctx_->recording()) writers_.assign(n, -1);
+}
+
+inline void TpArray::set_raw(std::size_t i, double value) noexcept {
+    assert(i < data_.size());
+    data_[i] = ctx_->shadow() ? value : quantize(value, format_);
+}
+
+inline double TpArray::raw(std::size_t i) const {
+    assert(i < data_.size());
+    if (ctx_->recording()) {
+        ctx_->note_output_tap(format_, writers_.empty() ? -1 : writers_[i],
+                              data_[i]);
+    }
+    return data_[i];
+}
 
 } // namespace tp::sim

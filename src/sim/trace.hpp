@@ -32,7 +32,12 @@ struct Instr {
     InstrKind kind = InstrKind::IntAlu;
     FpOp op = FpOp::Add;     // valid for FpArith
     FpFormat fmt{8, 23};     // operand format (FpArith/FpCast/Load/Store)
-    FpFormat fmt2{8, 23};    // cast target format (FpCast)
+    /// Cast target format — meaningful for FpCast only, where the tracing
+    /// context always fills it; everywhere else it stays kNoFormat, so a
+    /// consumer that forgets to check kind (or has_cast_target()) reads an
+    /// invalid format instead of silently misreading an arithmetic
+    /// instruction as a binary32 cast.
+    FpFormat fmt2 = kNoFormat;
     std::uint8_t bytes = 0;  // access width for Load/Store
     bool vectorizable = false; // emitted inside a tagged vector region
     std::uint32_t simd_group = 0; // 0 = scalar, else 1-based group id
@@ -41,6 +46,10 @@ struct Instr {
     std::int32_t src1 = -1;
     std::int32_t src2 = -1;
     std::int32_t src3 = -1; // third operand (fused multiply-add)
+
+    [[nodiscard]] constexpr bool has_cast_target() const noexcept {
+        return fmt2.valid();
+    }
 };
 
 using Trace = std::vector<Instr>;
@@ -59,12 +68,36 @@ struct SimdGroup {
     FpFormat fmt{8, 23};
 };
 
+/// The concrete value an SSA id took in a recorded execution, plus the
+/// format it was created in. Filled only under
+/// TpContext::Config::record_values (static-analysis captures); ids are
+/// dense, so records are indexed directly by value id.
+struct ValueRecord {
+    double value = 0.0;
+    FpFormat fmt = kNoFormat;
+};
+
+/// One program-output element observed through TpArray::raw() in a
+/// recorded execution: the producing value id (-1 when the element was
+/// written by set_raw only and never stored), the element format of the
+/// array it was read from, and the value itself. The static analysis
+/// inverts its per-value error model at exactly these taps.
+struct OutputTap {
+    double value = 0.0;
+    FpFormat fmt = kNoFormat;
+    std::int32_t value_id = -1;
+};
+
 /// A complete traced execution: the instruction stream, the SIMD groups
-/// annotated by vectorize(), and the number of value ids in use.
+/// annotated by vectorize(), and the number of value ids in use. `values`
+/// and `output_taps` are populated only by record_values captures
+/// (sim/context.hpp) — empty for ordinary traces.
 struct TraceProgram {
     Trace instrs;
     std::vector<SimdGroup> groups;
     std::size_t value_count = 0;
+    std::vector<ValueRecord> values;
+    std::vector<OutputTap> output_taps;
 };
 
 } // namespace tp::sim

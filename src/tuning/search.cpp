@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/derive_bounds.hpp"
 #include "tuning/eval_engine.hpp"
 #include "util/thread_pool.hpp"
 
@@ -404,6 +406,41 @@ TuningResult distributed_search(apps::App& app, const SearchOptions& options) {
 }
 
 TuningResult distributed_search(EvalEngine& engine, const SearchOptions& options) {
+    if (options.static_bounds) {
+        // Resolve the flag into explicit warm-start lower bounds before the
+        // searcher sees the request: the analysis runs on a private clone
+        // (it clobbers the prepared workload) and costs no trials.
+        const std::unique_ptr<apps::App> app = engine.prototype().clone();
+        const WarmStart derived = analysis::derive_warm_start(
+            *app, options.epsilon, options.input_sets, options.type_system);
+        SearchOptions resolved = options;
+        resolved.static_bounds = false;
+        if (!resolved.warm_start) {
+            resolved.warm_start = derived;
+        } else {
+            WarmStart& warm = *resolved.warm_start;
+            if (warm.lower_bounds.empty()) {
+                warm.lower_bounds = derived.lower_bounds;
+            } else if (warm.lower_bounds.size() == derived.lower_bounds.size()) {
+                for (std::size_t i = 0; i < warm.lower_bounds.size(); ++i) {
+                    warm.lower_bounds[i] = std::max(warm.lower_bounds[i],
+                                                    derived.lower_bounds[i]);
+                }
+            }
+            // An upper bound below a derived lower contradicts soundness
+            // only apparently (the caller's bound wins the probe clamp);
+            // keep the pair consistent so validation stays happy.
+            if (!warm.upper_bounds.empty() &&
+                warm.upper_bounds.size() == warm.lower_bounds.size()) {
+                for (std::size_t i = 0; i < warm.lower_bounds.size(); ++i) {
+                    warm.lower_bounds[i] =
+                        std::min(warm.lower_bounds[i], warm.upper_bounds[i]);
+                }
+            }
+        }
+        Searcher searcher{engine, resolved};
+        return searcher.run();
+    }
     Searcher searcher{engine, options};
     return searcher.run();
 }

@@ -147,6 +147,16 @@ struct SearchOptions {
     /// thread count and cache state; absent, the search is the cold
     /// all-kMaxPrecisionBits search it always was.
     std::optional<WarmStart> warm_start{};
+    /// Run the static precision-dataflow analysis
+    /// (analysis/derive_bounds.hpp) before the first trial and fold its
+    /// sound per-signal lower bounds into the warm start: seeds and upper
+    /// bounds are untouched (added to warm_start's if one is set, where
+    /// lower bounds combine by max). Costs |input_sets| shadow reference
+    /// executions and no trials; by the analysis' soundness contract the
+    /// TuningResult's signals are bit-identical to the unbounded search's
+    /// — only program_runs shrinks, the pruned bisection steps showing up
+    /// in EvalStats::trials_skipped_by_bounds.
+    bool static_bounds = false;
 };
 
 struct SignalResult {

@@ -123,6 +123,12 @@ struct FpFormat {
     }
 };
 
+/// The invalid-format sentinel (valid() is false): the value of fields
+/// that carry a format only conditionally — e.g. sim::Instr::fmt2, which
+/// is meaningful for casts alone. Test with valid(), never by comparing
+/// against a named format.
+inline constexpr FpFormat kNoFormat{0, 0};
+
 inline constexpr FpFormat kBinary8{5, 2};
 inline constexpr FpFormat kBinary16{5, 10};
 inline constexpr FpFormat kBinary16Alt{8, 7};

@@ -34,6 +34,9 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/derive_bounds.hpp"
+#include "analysis/range_analysis.hpp"
+#include "analysis/signal_flow.hpp"
 #include "apps/app.hpp"
 #include "sim/platform.hpp"
 #include "tuning/eval_engine.hpp"
@@ -373,6 +376,122 @@ TEST_P(AppConformanceTest, WarmChainedSweepIsMonotoneFrugalAndFeasible) {
     }
     EXPECT_EQ(parallel.stats().trials_skipped_by_bounds,
               warm_engine.stats().trials_skipped_by_bounds);
+}
+
+// --- static-analysis soundness -----------------------------------------------
+
+// The soundness contract of src/analysis/ (derive_bounds.hpp), checked
+// dynamically on every app:
+//
+//   (a) enclosure — every value a genuinely rounded execution records
+//       sits inside the static range of its producing signal, with the
+//       ranges evaluated at that execution's per-signal rounding steps;
+//   (b) bound validity — the tuned per-signal minimum the full search
+//       finds is never below the analysis lower bound, at threads=1 and
+//       threads=4;
+//   (c) result identity — a static_bounds search returns the cold
+//       search's result bit-identically, in no more trials, and books
+//       its savings in trials_skipped_by_bounds.
+TEST_P(AppConformanceTest, StaticAnalysisBoundsAreSound) {
+    const auto app = this->app();
+    const auto options = conformance_search_options();
+    const std::size_t S = app->signals().size();
+
+    for (const unsigned set : options.input_sets) {
+        const auto capture = analysis::capture_trace(*app, set);
+        const auto flow = analysis::build_signal_flow(capture.program, S);
+        const auto model = analysis::build_error_model(capture.program, flow);
+
+        // (a) A real rounded run under the staircase config (pairwise
+        // distinct formats, so it aligns with the capture).
+        app->prepare(set);
+        sim::TpContext ctx{sim::TpContext::Config{.trace = true,
+                                                  .force_emulated = true,
+                                                  .record_values = true,
+                                                  .binary64_shadow = false}};
+        const apps::TypeConfig probe = analysis::staircase_config(S);
+        (void)app->run(ctx, probe);
+        const sim::TraceProgram observed = ctx.take_program(false);
+
+        std::vector<double> u(S, 0.0);
+        for (std::size_t s = 0; s < S; ++s) {
+            u[s] = std::ldexp(
+                1.0, -(static_cast<int>(
+                           probe[static_cast<apps::SignalId>(s)].mant_bits) +
+                       1));
+        }
+        const auto ranges =
+            analysis::static_signal_ranges(model, flow, u, /*inflation=*/4.0);
+
+        auto mapped = analysis::align_value_signals(observed, flow,
+                                                    capture.program);
+        if (mapped.empty()) {
+            // Rounding flipped a data-dependent branch: fall back to
+            // stream-level attribution (stream ids are run-invariant).
+            const auto streams = analysis::stream_signals(capture.program, S);
+            mapped.assign(observed.value_count, analysis::kUnknownSignal);
+            for (const sim::Instr& instr : observed.instrs) {
+                if (instr.kind == sim::InstrKind::Load && instr.dst >= 0 &&
+                    instr.stream < streams.size()) {
+                    mapped[static_cast<std::size_t>(instr.dst)] =
+                        streams[instr.stream];
+                }
+            }
+        }
+        ASSERT_EQ(mapped.size(), observed.value_count);
+        ASSERT_EQ(observed.values.size(), observed.value_count);
+        for (std::size_t id = 0; id < observed.values.size(); ++id) {
+            const std::int32_t sig = mapped[id];
+            if (sig < 0) continue;
+            const analysis::StaticRange& range =
+                ranges[static_cast<std::size_t>(sig)];
+            if (!range.populated) continue;
+            const double v = observed.values[id].value;
+            if (!std::isfinite(v)) continue; // overflowed formats are lint's job
+            EXPECT_GE(v, range.lo) << GetParam() << ": set " << set
+                                   << " value " << id << " signal " << sig;
+            EXPECT_LE(v, range.hi) << GetParam() << ": set " << set
+                                   << " value " << id << " signal " << sig;
+        }
+    }
+
+    // (b) Tuned minima never undercut the static lower bounds.
+    const tuning::WarmStart warm = analysis::derive_warm_start(
+        *app, options.epsilon, options.input_sets, options.type_system);
+    ASSERT_EQ(warm.lower_bounds.size(), S);
+    for (const unsigned threads : {1u, 4u}) {
+        tuning::EvalEngine engine{
+            *app,
+            tuning::EvalEngine::Options{.threads = threads, .memoize = true}};
+        const tuning::TuningResult tuned = distributed_search(engine, options);
+        ASSERT_EQ(tuned.signals.size(), S);
+        for (std::size_t s = 0; s < S; ++s) {
+            EXPECT_GE(tuned.signals[s].precision_bits, warm.lower_bounds[s])
+                << GetParam() << ": threads " << threads << " signal "
+                << tuned.signals[s].name;
+        }
+    }
+
+    // (c) static_bounds reproduces the cold result exactly, cheaper.
+    tuning::EvalEngine cold_engine{
+        *app, tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+    const tuning::TuningResult cold = distributed_search(cold_engine, options);
+    auto bounded_options = options;
+    bounded_options.static_bounds = true;
+    tuning::EvalEngine bounded_engine{
+        *app, tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+    const tuning::TuningResult bounded =
+        distributed_search(bounded_engine, bounded_options);
+    ASSERT_EQ(bounded.signals.size(), cold.signals.size());
+    for (std::size_t s = 0; s < S; ++s) {
+        EXPECT_EQ(bounded.signals[s].precision_bits,
+                  cold.signals[s].precision_bits)
+            << GetParam() << ": signal " << cold.signals[s].name;
+        EXPECT_EQ(bounded.signals[s].bound, cold.signals[s].bound)
+            << GetParam() << ": signal " << cold.signals[s].name;
+    }
+    EXPECT_LE(bounded.program_runs, cold.program_runs) << GetParam();
+    EXPECT_EQ(cold_engine.stats().trials_skipped_by_bounds, 0u);
 }
 
 } // namespace tp::testing
