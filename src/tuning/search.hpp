@@ -60,6 +60,15 @@
 //     reorder work, they cannot change bits. (A cancelled request has no
 //     result at all; cancellation never stops a search mid-flight, so no
 //     partially-evaluated state can leak into a neighbour's trials.)
+//     The fairness and admission-control knobs extend this axis, never
+//     weaken it: anti-starvation aging (the scheduler's aging quantum)
+//     only moves a request's START time, per-class queue caps and
+//     deadline-aware admission only decide WHETHER a request is admitted
+//     (a rejection is a typed error before any ticket exists), and live
+//     vs tombstone queue accounting only changes what admission sees.
+//     Every request that completes returns the same bits it would have
+//     returned from a direct distributed_search / sweep_search call —
+//     aging, rejections, and caps around it included.
 //
 //   * warm starts — SearchOptions::warm_start is PART of the request, so
 //     the axes above extend unchanged: a warm-started search is a pure

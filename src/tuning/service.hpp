@@ -20,9 +20,28 @@
 //     (util/priority_scheduler.hpp): workers pop by (priority, admission
 //     order), so a high-priority interactive request submitted behind
 //     twenty queued sweeps runs next, not last. Requests whose deadline
-//     has passed by the time a worker pops them complete exceptionally
-//     with DeadlineExpired instead of consuming the worker; cancel()
-//     takes effect on queued requests (running requests finish);
+//     has passed while queued complete exceptionally with DeadlineExpired
+//     — eagerly, at the next queue-lock acquisition (their captured work
+//     payload is released on the spot), or at pop time as the backstop —
+//     instead of consuming a worker; cancel() takes effect on queued
+//     requests (running requests finish) and removes the queue entry
+//     immediately, so cancelled work never counts toward queue depths or
+//     admission caps;
+//   * fairness under sustained overload: with Options::aging_quantum set,
+//     a queued request's effective priority escalates with queue time
+//     (base + queue_time / quantum), so an unbroken kInteractive stream
+//     cannot starve kSweep forever — a sweep's wait is bounded by the
+//     class gap times the quantum plus the backlog at that rank. Zero
+//     (the default) keeps strict priority;
+//   * admission control: Options::max_queued_per_class caps the LIVE
+//     queued requests per priority class — submit() past the cap throws
+//     RequestRejected (kQueueFull) instead of letting latency grow
+//     without bound — and with Options::deadline_admission, a request
+//     whose deadline is already past or earlier than the backlog estimate
+//     (mean completed-run time x queued-ahead / workers) is refused at
+//     submit() with RequestRejected (kDeadlineUnmeetable) rather than
+//     admitted to expire. Rejected requests are never admitted: no
+//     ticket, no queue entry, no engine work;
 //   * one long-lived EvalEngine per app — every request for an app
 //     shares its golden outputs, clone pool, and memoized trial cache
 //     (single-flight, LRU-budgeted), across requests and batches, for
@@ -36,9 +55,11 @@
 //
 // Determinism (scheduling-independent): a request's result depends only
 // on its own work payload — never on priority, deadline, admission
-// order, cancellation of OTHER requests, worker count, or cache state
-// (the engine's cache-coherent contract, tuning/search.hpp). QoS knobs
-// reorder work; they cannot change results. Per-request EvalStats deltas
+// order, cancellation of OTHER requests, worker count, cache state (the
+// engine's cache-coherent contract, tuning/search.hpp), the aging
+// quantum, queue caps, or rejections around it. QoS and admission knobs
+// reorder or refuse work; they cannot change the bits of any completed
+// result. Per-request EvalStats deltas
 // are exact at any concurrency: each request runs inline on one worker
 // inside an EvalStatsScope (tuning/eval_engine.hpp), so concurrent
 // requests on a shared engine attribute every counter bump to exactly
@@ -112,8 +133,12 @@ enum class Priority : int {
 /// The unified submission payload: what to run (one of the three work
 /// variants), how urgently, and optionally by when it must have STARTED.
 /// A request still queued when `deadline` passes is rejected with
-/// DeadlineExpired at pop time instead of consuming a worker; a request
-/// that starts before the deadline runs to completion.
+/// DeadlineExpired — eagerly when any thread next touches the queue (its
+/// captured payload is released then, not held until pop), at pop time as
+/// the backstop — and never consumes a worker; a request that starts
+/// before the deadline runs to completion. With
+/// Options::deadline_admission, a deadline that provably cannot be met
+/// is refused at submit() instead (RequestRejected).
 struct Request {
     using Work = std::variant<TuningRequest, CastAwareRequest, SweepRequest>;
     Work work;
@@ -157,8 +182,49 @@ public:
                              " missed its deadline while queued") {}
 };
 
+/// Thrown by TuningService::submit() when admission control refuses a
+/// request (load shedding). Unlike the rejections above, the request was
+/// NEVER admitted: no ticket exists, nothing is queued, no engine work
+/// will run for it — the caller sheds the load or retries later.
+class RequestRejected final : public std::runtime_error {
+public:
+    enum class Reason {
+        /// The live queue for the request's priority class is at
+        /// Options::max_queued_per_class (cancelled/expired entries
+        /// don't count — the cap bounds real work).
+        kQueueFull,
+        /// Options::deadline_admission is on and the request's deadline
+        /// is already past, or earlier than the current backlog estimate
+        /// allows (see submit()).
+        kDeadlineUnmeetable,
+    };
+
+    RequestRejected(Reason reason, const std::string& what)
+        : std::runtime_error(what), reason_(reason) {}
+    [[nodiscard]] Reason reason() const noexcept { return reason_; }
+
+private:
+    Reason reason_;
+};
+
+/// Lifetime admission counters: every submit() outcome is exactly one of
+/// these. admitted covers requests that got a ticket (whatever their
+/// eventual fate); the rejected_* counters are typed load-shedding.
+struct AdmissionStats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_deadline = 0;
+
+    [[nodiscard]] std::uint64_t submitted() const noexcept {
+        return admitted + rejected_queue_full + rejected_deadline;
+    }
+    friend bool operator==(const AdmissionStats&,
+                           const AdmissionStats&) = default;
+};
+
 namespace detail {
 struct ServiceTicket;
+struct RunTimeEstimator;
 }
 
 /// Shared handle to one submitted request. Cheap to copy; every copy
@@ -247,6 +313,27 @@ public:
         /// Per-app engine cache budget in bytes; 0 = unbounded. See
         /// EvalEngine::Options::cache_budget_bytes.
         std::size_t cache_budget_bytes = 0;
+        /// Live queued requests allowed per priority class; 0 (default)
+        /// = unbounded. Past the cap, submit() throws RequestRejected
+        /// (kQueueFull). Running requests and cancelled/expired entries
+        /// never count.
+        std::size_t max_queued_per_class = 0;
+        /// Anti-starvation aging quantum: a queued request's effective
+        /// priority is its class + queue_time / quantum, so sustained
+        /// high-priority traffic cannot starve lower classes forever.
+        /// Zero (default) keeps strict priority. Purely a QoS knob —
+        /// results never depend on it (determinism contract).
+        std::chrono::steady_clock::duration aging_quantum{};
+        /// Reject-at-submit for hopeless deadlines: a request carrying a
+        /// deadline that is already past, or closer than the backlog
+        /// estimate (mean completed-run seconds x live requests queued at
+        /// >= its priority / workers), throws RequestRejected
+        /// (kDeadlineUnmeetable) instead of queueing only to expire. The
+        /// estimate ignores aged-up lower classes, so it under-estimates
+        /// at worst — an admitted-but-doomed request still expires on the
+        /// lazy path. Off by default: deadlines then keep the purely lazy
+        /// expire-while-queued semantics.
+        bool deadline_admission = false;
     };
 
     TuningService(); // default Options
@@ -260,12 +347,17 @@ public:
     /// retrievable through surviving handles.
     ~TuningService();
 
-    /// Admits one request. Throws std::out_of_range for an unknown app
-    /// name BEFORE anything is enqueued (admission control); otherwise
-    /// returns immediately with the ticket. Thread-safe; requests
-    /// submitted from one thread are admitted in program order. Must not
-    /// be called from inside a request running on this service (a
-    /// saturated scheduler would deadlock on the dependency).
+    /// Admits one request. Admission control runs BEFORE anything is
+    /// enqueued: an unknown app name throws std::out_of_range, a full
+    /// priority class (Options::max_queued_per_class) throws
+    /// RequestRejected{kQueueFull}, and with Options::deadline_admission
+    /// a hopeless deadline throws RequestRejected{kDeadlineUnmeetable} —
+    /// in every rejecting case the service queue is untouched and no
+    /// ticket exists. Otherwise returns immediately with the ticket.
+    /// Thread-safe; requests submitted from one thread are admitted in
+    /// program order. Must not be called from inside a request running on
+    /// this service (a saturated scheduler would deadlock on the
+    /// dependency).
     TicketHandle submit(Request request);
 
     /// Synchronous wrapper: submits every request of `batch` at
@@ -297,6 +389,15 @@ public:
     /// Lifetime aggregate of every engine's counters.
     [[nodiscard]] EvalStats stats() const;
 
+    /// LIVE queued requests right now — cancelled and expired entries are
+    /// removed from the queue the moment they go terminal, so this is the
+    /// real backlog, the number admission decisions are built on (the old
+    /// scheduler counted tombstones here).
+    [[nodiscard]] std::size_t queued() const;
+
+    /// Lifetime admission outcomes (admitted / typed rejections).
+    [[nodiscard]] AdmissionStats admission_stats() const;
+
 private:
     Options options_;
 
@@ -307,14 +408,22 @@ private:
 
     mutable std::mutex tickets_mutex_;
     std::uint64_t next_ticket_id_ = 0;
+    AdmissionStats admission_stats_;
     // Every outstanding ticket, for destructor-time cancellation. Weak:
     // the queue's closures own the tickets; expired entries are pruned on
     // submit.
     std::vector<std::weak_ptr<detail::ServiceTicket>> tickets_;
 
+    // Mean run time of completed requests, feeding the deadline-admission
+    // backlog estimate. Shared with the worker closures so recording
+    // outlives any individual submit.
+    std::shared_ptr<detail::RunTimeEstimator> estimator_;
+
     // Declared last: destruction drains the workers while the engines and
-    // ticket registry above are still alive.
-    std::unique_ptr<util::PriorityScheduler> scheduler_;
+    // ticket registry above are still alive. Shared so tickets can hold a
+    // weak reference for cancel-time queue-entry discarding without tying
+    // their lifetime to the service's.
+    std::shared_ptr<util::PriorityScheduler> scheduler_;
 };
 
 } // namespace tp::tuning

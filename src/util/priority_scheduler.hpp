@@ -1,27 +1,63 @@
-// PriorityScheduler — persistent workers over a priority task queue.
+// PriorityScheduler — persistent workers over an aging priority queue
+// with admission control.
 //
 // The FIFO ThreadPool (thread_pool.hpp) serves the tuning engine's trial
 // fan-outs, where every queued task must run and relative order is
 // irrelevant. The TuningService's admission queue needs a different
-// discipline: tasks carry a priority, the next free worker always takes
-// the most urgent admitted task, and ties break by admission order so
+// discipline: tasks carry a priority, the next free worker takes the most
+// urgent admitted task, and ties break by admission order so
 // equal-priority tasks stay FIFO — a small interactive request submitted
 // behind twenty queued epsilon sweeps overtakes all of them.
 //
-// Cancellation and deadlines are deliberately NOT the scheduler's
-// protocol: every admitted task is eventually popped and run, including
-// during destruction. A caller that abandons queued work (TuningService's
-// cancelled or expired tickets) makes the closure itself a cheap no-op
-// tombstone; that keeps the queue free of back-references into caller
-// state and makes the drain-on-destruction guarantee unconditional.
+// Strict priority starves: under a sustained stream of high-priority
+// work, a low-priority task waits forever. With Options::aging_quantum
+// set, a queued task's EFFECTIVE priority is
+//
+//     base_priority + floor(queue_time / aging_quantum)
+//
+// so every task eventually out-ranks fresh arrivals of any class and its
+// wait is bounded by (priority gap x quantum) plus the backlog ahead of
+// it at that rank. Ties on effective priority break by admission order,
+// which is exactly what makes the bound work: an aged task that reaches a
+// fresh arrival's rank is older, so it wins. A quantum of zero (the
+// default) is strict priority, bit-for-bit the old pop order.
+//
+// Admission control: Options::per_class_cap bounds the LIVE queued tasks
+// per base-priority class; submit() past the cap throws ClassFull (typed
+// load-shedding — a bounded queue beats unbounded latency). submit()
+// after stop() has begun throws Stopped: the drain guarantee below cannot
+// be honoured for a task admitted while the workers are exiting, so
+// admission fails loudly instead of silently dropping the task (the old
+// scheduler enqueued it onto a queue no worker would ever drain).
+//
+// Abandoned work: a caller that gives up on a queued task (TuningService's
+// cancelled tickets) calls discard(id) — the entry is erased on the spot,
+// releasing the closure (and whatever request payload it captured)
+// eagerly and keeping it out of every live count. Entries carrying an
+// expiry (TaskOptions::expiry) are purged the same way the next time any
+// thread takes the queue lock (submit or a worker between tasks) once the
+// expiry passes, running their on_discard callback so the owner can
+// observe the rejection without waiting for a pop; a worker that pops an
+// entry just before its expiry passes still runs the closure, which is
+// expected to re-check (TuningService's tickets do). pending() therefore
+// counts real, runnable work only — there are no tombstones to inflate
+// it.
+//
+// Drain guarantee: every admitted task is either popped and run (priority
+// order, including during destruction) or explicitly discarded/expired by
+// its owner — never silently dropped.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -30,55 +66,110 @@ namespace tp::util {
 
 class PriorityScheduler {
 public:
-    /// Spawns `thread_count` workers (at least one). Same mid-spawn
+    using Clock = std::chrono::steady_clock;
+
+    /// Thrown by submit() once stop() has begun. The task was NOT
+    /// admitted; nothing will run it.
+    class Stopped final : public std::runtime_error {
+    public:
+        Stopped()
+            : std::runtime_error("PriorityScheduler::submit after stop(): "
+                                 "task refused, not admitted") {}
+    };
+
+    /// Thrown by submit() when the task's base-priority class already
+    /// holds Options::per_class_cap live queued tasks. The task was NOT
+    /// admitted.
+    class ClassFull final : public std::runtime_error {
+    public:
+        ClassFull(int priority, std::size_t cap)
+            : std::runtime_error(
+                  "PriorityScheduler::submit: class " +
+                  std::to_string(priority) + " is at its live-queue cap (" +
+                  std::to_string(cap) + ")"),
+              priority_(priority),
+              cap_(cap) {}
+        [[nodiscard]] int priority() const noexcept { return priority_; }
+        [[nodiscard]] std::size_t cap() const noexcept { return cap_; }
+
+    private:
+        int priority_;
+        std::size_t cap_;
+    };
+
+    struct Options {
+        /// Workers to spawn (at least one).
+        unsigned threads = 1;
+        /// Live queued tasks allowed per base-priority class; 0 =
+        /// unbounded. Running tasks don't count, discarded/expired
+        /// entries don't count.
+        std::size_t per_class_cap = 0;
+        /// Anti-starvation aging quantum; zero disables aging (strict
+        /// priority, the historical order).
+        Clock::duration aging_quantum{};
+        /// Injectable time source for aging and expiry — tests use a fake
+        /// clock to make both fully deterministic. Must be monotone.
+        std::function<Clock::time_point()> now = &Clock::now;
+    };
+
+    /// Per-task admission extras; default is a plain un-expiring task.
+    struct TaskOptions {
+        // No default member initializers: they would make the `= {}`
+        // default argument of submit() ill-formed inside this class
+        // (incomplete-class context); both members default-construct to
+        // the intended empty state anyway.
+
+        /// Once passed, the entry is purged from the queue (without
+        /// running) at the next queue-lock acquisition instead of holding
+        /// its closure until a worker pops it.
+        std::optional<Clock::time_point> expiry;
+        /// Runs exactly once, outside the scheduler lock, if the entry is
+        /// removed without being popped (expiry purge or discard()). The
+        /// thread that triggered the removal runs it.
+        std::function<void()> on_discard;
+    };
+
+    /// Reserved "no task" id — submit() never returns it, so owners can
+    /// use it as the not-yet-admitted sentinel next to a task-id field.
+    static constexpr std::uint64_t kNoTask =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /// Spawns Options::threads workers (at least one). Same mid-spawn
     /// failure handling as ThreadPool: already-started workers are joined
     /// before the std::system_error propagates.
-    explicit PriorityScheduler(unsigned thread_count) {
-        if (thread_count == 0) thread_count = 1;
-        workers_.reserve(thread_count);
+    explicit PriorityScheduler(Options options) : options_(std::move(options)) {
+        if (options_.threads == 0) options_.threads = 1;
+        if (!options_.now) options_.now = &Clock::now;
+        workers_.reserve(options_.threads);
         try {
-            for (unsigned i = 0; i < thread_count; ++i) {
+            for (unsigned i = 0; i < options_.threads; ++i) {
                 workers_.emplace_back([this] { worker_loop(); });
             }
         } catch (...) {
-            shutdown();
+            stop();
             throw;
         }
     }
 
+    explicit PriorityScheduler(unsigned thread_count)
+        : PriorityScheduler(Options{.threads = thread_count}) {}
+
     PriorityScheduler(const PriorityScheduler&) = delete;
     PriorityScheduler& operator=(const PriorityScheduler&) = delete;
 
-    /// Drains: every admitted task is popped and run (priority order)
-    /// before the workers join. Tasks that must not do real work after
-    /// their owner is gone are the tombstone protocol's problem, not ours.
-    ~PriorityScheduler() { shutdown(); }
+    /// Drains: every still-queued admitted task is popped and run
+    /// (priority order) before the workers join. Tasks that must not do
+    /// real work after their owner is gone are the owner's problem
+    /// (discard them, or make the closure re-check — TuningService does
+    /// both).
+    ~PriorityScheduler() { stop(); }
 
-    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
-
-    /// Admits `task`. Higher `priority` runs first; within a priority,
-    /// admission order. Admission order is the queue-lock acquisition
-    /// order, so tasks submitted from one thread keep their program order.
-    void submit(int priority, std::function<void()> task) {
-        {
-            const std::lock_guard<std::mutex> lock{mutex_};
-            queue_.emplace(Key{-priority, next_seq_++}, std::move(task));
-        }
-        cv_.notify_one();
-    }
-
-    /// Tasks admitted but not yet popped (tombstones included).
-    [[nodiscard]] std::size_t pending() const {
-        const std::lock_guard<std::mutex> lock{mutex_};
-        return queue_.size();
-    }
-
-private:
-    // Ascending map order == pop order: most urgent priority first
-    // (negated), oldest admission within it.
-    using Key = std::pair<int, std::uint64_t>;
-
-    void shutdown() {
+    /// Idempotent shutdown: refuses new submissions (Stopped), lets the
+    /// workers drain the queue, joins them. Safe to call from any thread
+    /// that is not a worker; concurrent callers serialize and all return
+    /// once the workers are joined.
+    void stop() {
+        const std::lock_guard<std::mutex> stop_lock{stop_mutex_};
         {
             const std::lock_guard<std::mutex> lock{mutex_};
             stopping_ = true;
@@ -88,25 +179,229 @@ private:
         workers_.clear();
     }
 
-    void worker_loop() {
-        for (;;) {
-            std::function<void()> task;
-            {
-                std::unique_lock<std::mutex> lock{mutex_};
-                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-                if (queue_.empty()) return; // stopping_ and drained
-                const auto it = queue_.begin();
-                task = std::move(it->second);
-                queue_.erase(it);
+    /// True once stop() (or destruction) has begun: submit() will throw
+    /// Stopped. Exposed so tests can pin the submit-during-shutdown
+    /// window deterministically.
+    [[nodiscard]] bool stopping() const {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        return stopping_;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Admits `task` and returns its id (for discard()). Higher effective
+    /// priority runs first; within a class, admission order. Admission
+    /// order is the queue-lock acquisition order, so tasks submitted from
+    /// one thread keep their program order. Throws Stopped after stop(),
+    /// ClassFull at the class cap — in both cases the task was not
+    /// admitted and will never run.
+    std::uint64_t submit(int priority, std::function<void()> task,
+                         TaskOptions task_options = {}) {
+        std::vector<std::function<void()>> discards;
+        std::optional<ClassFull> rejected;
+        std::uint64_t id = kNoTask;
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            if (stopping_) throw Stopped{};
+            const Clock::time_point now = options_.now();
+            purge_expired(now, discards);
+            const auto live = live_per_class_.find(priority);
+            if (options_.per_class_cap != 0 &&
+                live != live_per_class_.end() &&
+                live->second >= options_.per_class_cap) {
+                rejected.emplace(priority, options_.per_class_cap);
+            } else {
+                id = next_seq_++;
+                queue_.emplace(Key{-priority, id},
+                               Entry{std::move(task), now, task_options.expiry,
+                                     std::move(task_options.on_discard)});
+                class_of_.emplace(id, priority);
+                ++live_per_class_[priority];
+                if (task_options.expiry.has_value()) {
+                    expiries_.emplace(*task_options.expiry,
+                                      Key{-priority, id});
+                }
             }
-            task();
+        }
+        // The purge's callbacks run even on the rejecting path — their
+        // owners are waiting on them either way.
+        for (const auto& on_discard : discards) on_discard();
+        if (rejected.has_value()) throw *rejected;
+        cv_.notify_one();
+        return id;
+    }
+
+    /// Erases a still-queued entry: its closure (and captured payload) is
+    /// released immediately, its on_discard runs on this thread, and it
+    /// stops counting toward pending() and the class caps. Returns true
+    /// exactly when the entry was still queued; false if it was already
+    /// popped, discarded, or expired (or `id` is kNoTask).
+    bool discard(std::uint64_t id) {
+        std::function<void()> on_discard;
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            const auto class_it = class_of_.find(id);
+            if (class_it == class_of_.end()) return false;
+            const auto it = queue_.find(Key{-class_it->second, id});
+            on_discard = std::move(it->second.on_discard);
+            erase_entry(it);
+            ++discarded_;
+        }
+        if (on_discard) on_discard();
+        return true;
+    }
+
+    /// Live tasks admitted but not yet popped: discarded and expired
+    /// entries are gone from the queue, so they never inflate this (the
+    /// count admission decisions are built on).
+    [[nodiscard]] std::size_t pending() const {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        return queue_.size();
+    }
+
+    /// Live queued tasks in one base-priority class.
+    [[nodiscard]] std::size_t pending(int priority) const {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        const auto it = live_per_class_.find(priority);
+        return it == live_per_class_.end() ? 0 : it->second;
+    }
+
+    /// Live queued tasks at base priority >= `priority` — under strict
+    /// priority, the work guaranteed to run before a new submission at
+    /// that priority (aging can only promote tasks from below).
+    [[nodiscard]] std::size_t pending_at_least(int priority) const {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        std::size_t count = 0;
+        for (auto it = live_per_class_.lower_bound(priority);
+             it != live_per_class_.end(); ++it) {
+            count += it->second;
+        }
+        return count;
+    }
+
+    /// Entries removed without being popped (discard() + expiry purges)
+    /// over the scheduler's lifetime.
+    [[nodiscard]] std::uint64_t discarded() const {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        return discarded_;
+    }
+
+private:
+    // Ascending map order == strict pop order: most urgent base priority
+    // first (negated), oldest admission within it. Aging never reorders
+    // WITHIN a class (same base, and older entries age at least as much),
+    // so each class's head is its best candidate and pop only compares
+    // the handful of class heads.
+    using Key = std::pair<int, std::uint64_t>;
+
+    struct Entry {
+        std::function<void()> task;
+        Clock::time_point admitted_at;
+        std::optional<Clock::time_point> expiry;
+        std::function<void()> on_discard;
+    };
+
+    [[nodiscard]] long long age_steps(Clock::time_point now,
+                                      Clock::time_point admitted) const {
+        if (options_.aging_quantum <= Clock::duration::zero()) return 0;
+        const Clock::duration waited = now - admitted;
+        if (waited <= Clock::duration::zero()) return 0;
+        return waited / options_.aging_quantum;
+    }
+
+    /// The queue entry a worker should take now: the class head with the
+    /// highest effective priority, ties to the oldest admission. Requires
+    /// the lock; the queue must be non-empty.
+    [[nodiscard]] std::map<Key, Entry>::iterator best_entry(
+        Clock::time_point now) {
+        auto best = queue_.end();
+        long long best_effective = 0;
+        for (auto it = queue_.begin(); it != queue_.end();
+             it = queue_.upper_bound(
+                 Key{it->first.first,
+                     std::numeric_limits<std::uint64_t>::max()})) {
+            const long long effective =
+                -it->first.first + age_steps(now, it->second.admitted_at);
+            if (best == queue_.end() || effective > best_effective ||
+                (effective == best_effective &&
+                 it->first.second < best->first.second)) {
+                best = it;
+                best_effective = effective;
+            }
+        }
+        return best;
+    }
+
+    /// Removes one entry and every index pointing at it. Requires the
+    /// lock.
+    void erase_entry(std::map<Key, Entry>::iterator it) {
+        const Key key = it->first;
+        const int priority = -key.first;
+        if (it->second.expiry.has_value()) {
+            const auto [begin, end] = expiries_.equal_range(*it->second.expiry);
+            for (auto eit = begin; eit != end; ++eit) {
+                if (eit->second == key) {
+                    expiries_.erase(eit);
+                    break;
+                }
+            }
+        }
+        const auto live = live_per_class_.find(priority);
+        if (--live->second == 0) live_per_class_.erase(live);
+        class_of_.erase(key.second);
+        queue_.erase(it);
+    }
+
+    /// Erases every entry whose expiry has passed, collecting their
+    /// on_discard callbacks for the caller to run outside the lock.
+    /// Requires the lock.
+    void purge_expired(Clock::time_point now,
+                       std::vector<std::function<void()>>& discards) {
+        while (!expiries_.empty() && expiries_.begin()->first <= now) {
+            const auto it = queue_.find(expiries_.begin()->second);
+            if (it->second.on_discard) {
+                discards.push_back(std::move(it->second.on_discard));
+            }
+            erase_entry(it); // also erases the expiries_ head
+            ++discarded_;
         }
     }
 
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            std::vector<std::function<void()>> discards;
+            {
+                std::unique_lock<std::mutex> lock{mutex_};
+                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                const Clock::time_point now = options_.now();
+                purge_expired(now, discards);
+                if (queue_.empty()) {
+                    if (stopping_ && discards.empty()) return;
+                    // The purge may have emptied the queue: deliver the
+                    // discard callbacks below, then come back and wait
+                    // (or exit) with a clean slate.
+                } else {
+                    const auto it = best_entry(now);
+                    task = std::move(it->second.task);
+                    erase_entry(it);
+                }
+            }
+            for (const auto& on_discard : discards) on_discard();
+            if (task) task();
+        }
+    }
+
+    Options options_;
+    std::mutex stop_mutex_; // serializes stop(); never taken with mutex_ held
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::map<Key, std::function<void()>> queue_;
+    std::map<Key, Entry> queue_;
+    std::map<std::uint64_t, int> class_of_;      // live entry id -> base prio
+    std::multimap<Clock::time_point, Key> expiries_;
+    std::map<int, std::size_t> live_per_class_;  // base prio -> live queued
     std::uint64_t next_seq_ = 0;
+    std::uint64_t discarded_ = 0;
     std::vector<std::thread> workers_;
     bool stopping_ = false;
 };

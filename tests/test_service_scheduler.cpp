@@ -15,7 +15,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -154,6 +158,219 @@ TEST(PriorityScheduler, DestructionDrainsAdmittedTasks) {
         // Destructor runs with (most of) the queue still pending.
     }
     EXPECT_EQ(ran.load(), 5);
+}
+
+/// A fake time source over an atomic millisecond counter: aging and
+/// expiry become fully deterministic — no sleeps, no real clock.
+struct FakeClock {
+    std::atomic<std::int64_t> ms{0};
+
+    [[nodiscard]] std::function<tp::util::PriorityScheduler::Clock::time_point()>
+    source() {
+        return [this] {
+            return tp::util::PriorityScheduler::Clock::time_point{} +
+                   std::chrono::milliseconds(ms.load());
+        };
+    }
+    [[nodiscard]] tp::util::PriorityScheduler::Clock::time_point at(
+        std::int64_t when_ms) const {
+        return tp::util::PriorityScheduler::Clock::time_point{} +
+               std::chrono::milliseconds(when_ms);
+    }
+};
+
+// Anti-starvation aging: with a quantum set, a queued task's effective
+// priority is base + waited / quantum, so an old low-priority task
+// overtakes fresh high-priority arrivals (ties break by admission order,
+// which the aged task wins by being older). Strict priority would pop
+// 1, 2, 0 here; aging pops 0 first.
+TEST(PriorityScheduler, AgingPromotesStarvedClasses) {
+    FakeClock clock;
+    tp::util::PriorityScheduler scheduler{tp::util::PriorityScheduler::Options{
+        .threads = 1,
+        .aging_quantum = std::chrono::milliseconds(100),
+        .now = clock.source()}};
+
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> started;
+    scheduler.submit(3, [&started, open] {
+        started.set_value();
+        open.wait();
+    });
+    started.get_future().wait();
+
+    std::mutex order_mutex;
+    std::vector<int> order;
+    std::atomic<int> remaining{3};
+    const auto record = [&order_mutex, &order, &remaining](int tag) {
+        const std::lock_guard<std::mutex> lock{order_mutex};
+        order.push_back(tag);
+        --remaining;
+    };
+    // Admitted at t=0ms with base priority 0: by t=250ms it has aged
+    // floor(250/100) = 2 steps, to effective 2.
+    scheduler.submit(0, [&record] { record(0); });
+    clock.ms = 250;
+    // Fresh arrivals at t=250ms: effective 2 and 1. The aged task ties
+    // the priority-2 arrival and wins on admission order.
+    scheduler.submit(2, [&record] { record(1); });
+    scheduler.submit(1, [&record] { record(2); });
+
+    gate.set_value();
+    while (remaining.load() != 0) std::this_thread::yield();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// Regression for the submit/shutdown race: the old scheduler admitted a
+// task after stop() had begun and enqueued it onto a queue no worker
+// would ever drain — silently dropped, violating the drain guarantee.
+// Post-stop submission must fail loudly instead. Deterministic: the
+// gated worker pins stop() mid-flight, stopping() pins the window.
+TEST(PriorityScheduler, SubmitDuringStopFailsLoudlyInsteadOfDropping) {
+    tp::util::PriorityScheduler scheduler{1};
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> started;
+    scheduler.submit(0, [&started, open] {
+        started.set_value();
+        open.wait();
+    });
+    started.get_future().wait();
+
+    // stop() blocks joining the gated worker; the submit window is open
+    // exactly once stopping() turns true.
+    std::thread stopper{[&scheduler] { scheduler.stop(); }};
+    while (!scheduler.stopping()) std::this_thread::yield();
+
+    std::atomic<bool> dropped_task_ran{false};
+    EXPECT_THROW(
+        scheduler.submit(0, [&dropped_task_ran] { dropped_task_ran = true; }),
+        tp::util::PriorityScheduler::Stopped);
+
+    gate.set_value();
+    stopper.join();
+    // The refused task never ran — and was never admitted to be dropped.
+    EXPECT_FALSE(dropped_task_ran.load());
+    EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+// Admission control: the per-class cap bounds LIVE queued tasks of one
+// base-priority class; other classes are untouched, and discarding an
+// entry frees its slot immediately.
+TEST(PriorityScheduler, PerClassCapShedsLoadTyped) {
+    tp::util::PriorityScheduler scheduler{tp::util::PriorityScheduler::Options{
+        .threads = 1, .per_class_cap = 2}};
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> started;
+    scheduler.submit(0, [&started, open] {
+        started.set_value();
+        open.wait();
+    });
+    started.get_future().wait();
+
+    std::atomic<int> ran{0};
+    scheduler.submit(1, [&ran] { ++ran; });
+    const std::uint64_t second = scheduler.submit(1, [&ran] { ++ran; });
+    EXPECT_EQ(scheduler.pending(1), 2u);
+    try {
+        scheduler.submit(1, [&ran] { ++ran; });
+        FAIL() << "expected ClassFull";
+    } catch (const tp::util::PriorityScheduler::ClassFull& full) {
+        EXPECT_EQ(full.priority(), 1);
+        EXPECT_EQ(full.cap(), 2u);
+    }
+    // The cap is per class: class 2 has room.
+    scheduler.submit(2, [&ran] { ++ran; });
+    // Discarding a live entry frees its class slot on the spot.
+    EXPECT_TRUE(scheduler.discard(second));
+    EXPECT_EQ(scheduler.pending(1), 1u);
+    scheduler.submit(1, [&ran] { ++ran; });
+
+    gate.set_value();
+    scheduler.stop();
+    // Admitted and not discarded: first, the class-2 task, the refill.
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_EQ(scheduler.discarded(), 1u);
+}
+
+// discard() erases the still-queued entry, releases its closure (and
+// captured payload) immediately, runs on_discard, and stops counting it.
+TEST(PriorityScheduler, DiscardReleasesEntryAndPayloadEagerly) {
+    tp::util::PriorityScheduler scheduler{1};
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> started;
+    scheduler.submit(0, [&started, open] {
+        started.set_value();
+        open.wait();
+    });
+    started.get_future().wait();
+
+    auto payload = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = payload;
+    std::atomic<bool> notified{false};
+    const std::uint64_t id = scheduler.submit(
+        0, [payload] { ADD_FAILURE() << "discarded task ran"; },
+        tp::util::PriorityScheduler::TaskOptions{
+            .expiry = {}, .on_discard = [&notified] { notified = true; }});
+    payload.reset();
+    EXPECT_FALSE(watch.expired()); // the queue entry holds the payload
+    EXPECT_EQ(scheduler.pending(), 1u);
+
+    EXPECT_TRUE(scheduler.discard(id));
+    EXPECT_TRUE(watch.expired()); // released at discard, not at pop
+    EXPECT_TRUE(notified.load());
+    EXPECT_EQ(scheduler.pending(), 0u);
+    EXPECT_FALSE(scheduler.discard(id)); // already gone
+    EXPECT_FALSE(scheduler.discard(tp::util::PriorityScheduler::kNoTask));
+
+    gate.set_value();
+}
+
+// Expired entries are purged at the next queue-lock acquisition — here a
+// later submit — without a worker ever popping them: pending() reports
+// live work only (the old scheduler counted such tombstones) and the
+// captured payload is released on the spot.
+TEST(PriorityScheduler, ExpiryPurgesWithoutAPopAndReleasesPayload) {
+    FakeClock clock;
+    tp::util::PriorityScheduler scheduler{tp::util::PriorityScheduler::Options{
+        .threads = 1, .now = clock.source()}};
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> started;
+    scheduler.submit(0, [&started, open] {
+        started.set_value();
+        open.wait();
+    });
+    started.get_future().wait();
+
+    auto payload = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = payload;
+    std::atomic<bool> expired{false};
+    scheduler.submit(0, [payload] { ADD_FAILURE() << "expired task ran"; },
+                     tp::util::PriorityScheduler::TaskOptions{
+                         .expiry = clock.at(100),
+                         .on_discard = [&expired] { expired = true; }});
+    payload.reset();
+    EXPECT_EQ(scheduler.pending(), 1u);
+    EXPECT_FALSE(watch.expired());
+
+    clock.ms = 150;
+    // The worker is still gated: only this submit can purge. By the time
+    // it returns, the expired entry is gone, its payload freed, and its
+    // owner notified — no pop involved.
+    std::atomic<bool> live_ran{false};
+    scheduler.submit(0, [&live_ran] { live_ran = true; });
+    EXPECT_TRUE(expired.load());
+    EXPECT_TRUE(watch.expired());
+    EXPECT_EQ(scheduler.pending(), 1u); // the live trigger task only
+    EXPECT_EQ(scheduler.discarded(), 1u);
+
+    gate.set_value();
+    scheduler.stop();
+    EXPECT_TRUE(live_ran.load());
 }
 
 // --- Submission, variants, wrappers -----------------------------------------
@@ -475,6 +692,200 @@ TEST(ServiceScheduler, DestructorCancelsQueuedAndDrainsRunning) {
         EXPECT_EQ(handle.status(), RequestStatus::kCancelled);
         EXPECT_THROW((void)handle.get(), RequestCancelled);
         EXPECT_EQ(handle.stats(), EvalStats{});
+    }
+}
+
+// --- Admission control and live accounting ----------------------------------
+
+// max_queued_per_class: the third live interactive request is refused
+// with a typed RequestRejected{kQueueFull}; other classes are untouched;
+// cancelling a queued request frees its slot immediately (no tombstone).
+TEST(ServiceScheduler, QueueCapRejectsTypedAndCancelFreesTheSlot) {
+    TuningService service{TuningService::Options{
+        .threads = 1, .max_queued_per_class = 2}};
+    // Occupy the only worker for a macroscopic time so submissions below
+    // stay queued for the duration of the test body.
+    const TicketHandle blocker = service.submit(sweep("pca"));
+    wait_until_started(blocker);
+
+    const auto interactive = [] {
+        return Request{.work = plain("jacobi", 1e-1, {0}),
+                       .priority = Priority::kInteractive};
+    };
+    const TicketHandle first = service.submit(interactive());
+    const TicketHandle second = service.submit(interactive());
+    EXPECT_EQ(service.queued(), 2u);
+    try {
+        (void)service.submit(interactive());
+        FAIL() << "expected RequestRejected";
+    } catch (const tp::tuning::RequestRejected& rejected) {
+        EXPECT_EQ(rejected.reason(),
+                  tp::tuning::RequestRejected::Reason::kQueueFull);
+    }
+    // The cap is per class: a sweep-class request still gets in.
+    const TicketHandle low = service.submit(sweep("dwt"));
+    // Cancelling a queued request frees its slot on the spot — the old
+    // tombstoned queue would still have counted it.
+    EXPECT_TRUE(second.cancel());
+    EXPECT_EQ(service.queued(), 2u); // first + low
+    const TicketHandle refill = service.submit(interactive());
+
+    const tp::tuning::AdmissionStats admission = service.admission_stats();
+    EXPECT_EQ(admission.admitted, 5u); // blocker, first, second, low, refill
+    EXPECT_EQ(admission.rejected_queue_full, 1u);
+    EXPECT_EQ(admission.rejected_deadline, 0u);
+    EXPECT_EQ(admission.submitted(), 6u);
+
+    // Rejection sheds load but never touches results: everything admitted
+    // and not cancelled completes with reference bits.
+    EXPECT_TRUE(first.search_result() == direct(plain("jacobi", 1e-1, {0})));
+    EXPECT_TRUE(refill.search_result() == direct(plain("jacobi", 1e-1, {0})));
+    EXPECT_THROW((void)second.get(), RequestCancelled);
+}
+
+// deadline_admission: a hopeless deadline is refused at submit() — both
+// the trivially hopeless (already past) and the backlog-estimated kind —
+// with no ticket and no queue entry.
+TEST(ServiceScheduler, DeadlineAdmissionRejectsAtSubmit) {
+    TuningService service{TuningService::Options{
+        .threads = 1, .deadline_admission = true}};
+
+    // Already past: rejected deterministically even with a cold estimator.
+    try {
+        (void)service.submit(Request{
+            .work = plain("jacobi", 1e-1, {0}),
+            .deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1)});
+        FAIL() << "expected RequestRejected";
+    } catch (const tp::tuning::RequestRejected& rejected) {
+        EXPECT_EQ(rejected.reason(),
+                  tp::tuning::RequestRejected::Reason::kDeadlineUnmeetable);
+    }
+    EXPECT_EQ(service.queued(), 0u);
+    // Rejected means never admitted: no engine work ran or will run.
+    EXPECT_EQ(service.engine("jacobi").stats(), EvalStats{});
+
+    // Warm the run-time estimator with one completed request, then build
+    // a backlog: a busy worker plus a queued sweep. A sweep-class request
+    // due in 1us cannot beat a backlog estimated from real sweep runs.
+    const TuningRequest small = plain("jacobi", 1e-1, {0});
+    EXPECT_TRUE(service.submit(Request{.work = small}).search_result() ==
+                direct(small));
+    const TicketHandle blocker = service.submit(sweep("pca"));
+    wait_until_started(blocker);
+    const TicketHandle queued_sweep = service.submit(sweep("dwt"));
+    try {
+        (void)service.submit(Request{
+            .work = plain("conv", 1e-1, {0}),
+            .priority = Priority::kSweep,
+            .deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(1)});
+        FAIL() << "expected RequestRejected";
+    } catch (const tp::tuning::RequestRejected& rejected) {
+        EXPECT_EQ(rejected.reason(),
+                  tp::tuning::RequestRejected::Reason::kDeadlineUnmeetable);
+    }
+    const tp::tuning::AdmissionStats admission = service.admission_stats();
+    EXPECT_EQ(admission.rejected_deadline, 2u);
+    EXPECT_EQ(admission.admitted, 3u);
+    // A roomy deadline sails through and completes with reference bits.
+    const TicketHandle met = service.submit(Request{
+        .work = small,
+        .priority = Priority::kInteractive,
+        .deadline = std::chrono::steady_clock::now() + std::chrono::hours(1)});
+    EXPECT_TRUE(met.search_result() == direct(small));
+    (void)queued_sweep.sweep_results();
+}
+
+// Eager deadline expiry: a queued request whose deadline passes goes
+// kExpired at the next queue touch (here: an unrelated submit), while
+// the only worker is still busy — no pop involved. Deterministic: the
+// deadline is already past at admission (deadline_admission off keeps
+// the lazy semantics), so the very next purge must catch it.
+TEST(ServiceScheduler, QueuedDeadlineExpiresWithoutAPop) {
+    TuningService service{TuningService::Options{.threads = 1}};
+    const TicketHandle blocker = service.submit(sweep("pca"));
+    wait_until_started(blocker);
+
+    const TicketHandle doomed = service.submit(Request{
+        .work = plain("jacobi", 1e-1, {0}),
+        .deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1)});
+    EXPECT_EQ(doomed.status(), RequestStatus::kQueued);
+    EXPECT_EQ(service.queued(), 1u);
+
+    // The trigger: any later submit purges expired entries before it
+    // enqueues. By the time it returns, `doomed` is terminal even though
+    // the worker never popped it (it is still inside the blocker sweep).
+    const TicketHandle trigger =
+        service.submit(Request{.work = plain("conv", 1e-1, {0})});
+    EXPECT_EQ(doomed.status(), RequestStatus::kExpired);
+    EXPECT_THROW((void)doomed.get(), DeadlineExpired);
+    EXPECT_EQ(doomed.stats(), EvalStats{});
+    EXPECT_EQ(service.queued(), 1u); // the trigger only — no tombstone
+
+    EXPECT_TRUE(trigger.search_result() == direct(plain("conv", 1e-1, {0})));
+}
+
+// Cancelled tickets leave no tombstones behind: queued() drops the
+// moment cancel() returns, long before any worker pops.
+TEST(ServiceScheduler, CancelledTicketsLeaveNoTombstones) {
+    TuningService service{TuningService::Options{.threads = 1}};
+    const TicketHandle blocker = service.submit(sweep("pca"));
+    wait_until_started(blocker);
+
+    std::vector<TicketHandle> queued;
+    for (int i = 0; i < 3; ++i) {
+        queued.push_back(
+            service.submit(Request{.work = plain("jacobi", 1e-1, {0})}));
+    }
+    EXPECT_EQ(service.queued(), 3u);
+    for (const TicketHandle& handle : queued) EXPECT_TRUE(handle.cancel());
+    EXPECT_EQ(service.queued(), 0u);
+    for (const TicketHandle& handle : queued) {
+        EXPECT_EQ(handle.status(), RequestStatus::kCancelled);
+    }
+}
+
+// The determinism contract across the new fairness knobs: a sustained
+// mixed-priority arrival stream with aging enabled returns bit-identical
+// results at one worker and at four — and both match the direct-search
+// reference.
+TEST(ServiceScheduler, SustainedArrivalsBitIdenticalAcrossThreadCounts) {
+    const std::vector<TuningRequest> mix = {
+        plain("jacobi", 1e-1, {0}), plain("conv", 1e-1, {0}),
+        plain("jacobi", 1e-2, {0}), plain("conv", 1e-2, {0}),
+    };
+    constexpr Priority kPriorities[] = {Priority::kInteractive,
+                                        Priority::kNormal, Priority::kSweep};
+
+    const auto run_stream = [&mix, &kPriorities](unsigned threads) {
+        TuningService service{TuningService::Options{
+            .threads = threads,
+            .aging_quantum = std::chrono::microseconds(200)}};
+        std::vector<TicketHandle> handles;
+        for (int i = 0; i < 8; ++i) {
+            handles.push_back(service.submit(Request{
+                .work = mix[static_cast<std::size_t>(i) % mix.size()],
+                .priority = kPriorities[static_cast<std::size_t>(i) % 3]}));
+            // Open-loop-ish spacing: arrivals keep coming while earlier
+            // requests run, so aging actually reorders pops.
+            std::this_thread::sleep_for(std::chrono::microseconds(300));
+        }
+        std::vector<TuningResult> results;
+        results.reserve(handles.size());
+        for (const TicketHandle& handle : handles) {
+            results.push_back(handle.search_result());
+        }
+        return results;
+    };
+
+    const std::vector<TuningResult> one = run_stream(1);
+    const std::vector<TuningResult> four = run_stream(4);
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_TRUE(one[i] == four[i]) << "request " << i;
+        EXPECT_TRUE(one[i] == direct(mix[i % mix.size()])) << "request " << i;
     }
 }
 
