@@ -27,6 +27,7 @@
 #include "apps/app.hpp"
 #include "harness.hpp"
 #include "json.hpp"
+#include "tuning/cast_aware.hpp"
 #include "tuning/eval_engine.hpp"
 #include "tuning/search.hpp"
 
@@ -327,6 +328,86 @@ int main() {
     std::printf("\n%d/9 apps skipped trials via static bounds\n",
                 apps_with_skips);
 
+    // --- Cast-aware delta costing ----------------------------------------
+    // The region-impact cut (analysis/region_impact.hpp +
+    // EvalEngine::report_delta): the cast-aware phase's candidate probes
+    // splice every cost region the static analysis proves untouched by
+    // the probed signal instead of re-accounting it. Both sides run the
+    // same two-phase search on fresh memoized engines; the delta-cost
+    // soundness contract makes the CastAwareResults bit-identical —
+    // checked per app — while the recost/skip split records the removed
+    // work. Gates: identical results on 9/9 apps, region re-costs drop
+    // (regions_skipped_by_impact > 0) on >= 7 of 9 — an app whose whole
+    // trace is one unbroken vector window soundly degenerates to full
+    // recosting.
+    std::printf("\n# cast-aware delta costing — full recost vs "
+                "report_delta (epsilon %g)\n\n",
+                tp::bench::kEpsilons[1]);
+    std::printf("%-8s %-10s %-10s %-9s %-9s %-9s %s\n", "app", "full_rc",
+                "delta_rc", "skipped", "full_s", "delta_s", "identical");
+
+    int apps_with_region_skips = 0;
+    bool all_delta_identical = true;
+    auto delta_json = tp::bench::Json::array();
+    for (const std::string& app_name : tp::apps::app_names()) {
+        auto app = tp::apps::make_app(app_name);
+        tp::tuning::CastAwareOptions ca;
+        ca.search = options_for(tp::bench::kEpsilons[1]);
+        ca.search.input_sets = {0, 1};
+        ca.search.max_passes = 2;
+        ca.max_rounds = 2;
+
+        auto full_options = ca;
+        full_options.delta_cost = false;
+        tp::tuning::EvalEngine full_engine{
+            *app,
+            tp::tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+        const auto full_start = Clock::now();
+        const auto full = tp::tuning::cast_aware_search(full_engine, full_options);
+        const double full_seconds = seconds_since(full_start);
+
+        tp::tuning::EvalEngine delta_engine{
+            *app,
+            tp::tuning::EvalEngine::Options{.threads = 1, .memoize = true}};
+        const auto delta_start = Clock::now();
+        const auto delta = tp::tuning::cast_aware_search(delta_engine, ca);
+        const double delta_seconds = seconds_since(delta_start);
+
+        const bool matches = identical_results(full.base, delta.base) &&
+                             full.config == delta.config &&
+                             full.base_energy_pj == delta.base_energy_pj &&
+                             full.tuned_energy_pj == delta.tuned_energy_pj &&
+                             full.base_casts == delta.base_casts &&
+                             full.tuned_casts == delta.tuned_casts &&
+                             full.moves_accepted == delta.moves_accepted;
+        all_delta_identical = all_delta_identical && matches;
+        if (delta.eval_stats.regions_skipped_by_impact > 0) {
+            ++apps_with_region_skips;
+        }
+
+        std::printf("%-8s %-10zu %-10zu %-9zu %-9.3f %-9.3f %s\n",
+                    app_name.c_str(), full.eval_stats.regions_recosted,
+                    delta.eval_stats.regions_recosted,
+                    delta.eval_stats.regions_skipped_by_impact, full_seconds,
+                    delta_seconds, matches ? "yes" : "NO");
+
+        delta_json.item_raw(
+            tp::bench::Json::object()
+                .field("app", app_name)
+                .field("full_regions_recosted", full.eval_stats.regions_recosted)
+                .field("delta_regions_recosted",
+                       delta.eval_stats.regions_recosted)
+                .field("regions_skipped_by_impact",
+                       delta.eval_stats.regions_skipped_by_impact)
+                .field("full_wall_seconds", full_seconds)
+                .field("delta_wall_seconds", delta_seconds)
+                .field("bit_identical", matches)
+                .str(2));
+    }
+    const bool delta_skips_gate = apps_with_region_skips >= 7;
+    std::printf("\n%d/9 apps skipped region re-costs via impact analysis\n",
+                apps_with_region_skips);
+
     // --- Arithmetic-backend A/B ------------------------------------------
     // Same uncached sweep with the backend pinned per engine through
     // Options::force_emulated: native fast path vs forced emulation,
@@ -409,6 +490,8 @@ int main() {
                          .raw("sweep_warm_start", warm_json.str(2))
                          .field("apps_with_static_skips", apps_with_skips)
                          .raw("static_bounds", static_json.str(2))
+                         .field("apps_with_region_skips", apps_with_region_skips)
+                         .raw("cast_aware_delta", delta_json.str(2))
                          .raw("backend_ab", backend_json.str(2));
     std::ofstream out{"BENCH_eval_engine.json"};
     out << doc.str() << "\n";
@@ -439,6 +522,16 @@ int main() {
     if (!static_skips_gate) {
         std::printf("FAIL: static bounds skipped trials on only %d/9 apps "
                     "(need 7)\n", apps_with_skips);
+        return 1;
+    }
+    if (!all_delta_identical) {
+        std::printf("FAIL: a delta-costed cast-aware search diverged from the "
+                    "full-recost path\n");
+        return 1;
+    }
+    if (!delta_skips_gate) {
+        std::printf("FAIL: delta costing skipped region re-costs on only "
+                    "%d/9 apps (need 7)\n", apps_with_region_skips);
         return 1;
     }
     std::printf("cached and uncached searches returned bit-identical results\n");

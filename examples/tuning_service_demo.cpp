@@ -155,7 +155,8 @@ int main(int argc, char** argv) {
     // sound per-signal precision lower bounds (what static_bounds feeds
     // the search) plus a precision lint over the captured dataflow —
     // redundant casts, double-rounding hazards, signals whose whole range
-    // sits below the narrow formats' normal numbers.
+    // sits below the narrow formats' normal numbers, and dead casts whose
+    // endpoints the bounds pin to one and the same member format.
     {
         const auto app = tp::apps::make_app("iir");
         tp::analysis::DeriveOptions options;
@@ -163,6 +164,9 @@ int main(int argc, char** argv) {
         const auto analysis = tp::analysis::analyze(*app, 1e-2, options);
         std::cout << "\nstatic analysis (no trials):\n"
                   << analysis.to_string();
+        std::cout << "dead casts (elide under every reachable binding): "
+                  << analysis.lint.count(tp::analysis::LintKind::DeadCast)
+                  << '\n';
     }
 
     // The synchronous batch API survives as a wrapper over submit():

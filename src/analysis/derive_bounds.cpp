@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "analysis/error_model.hpp"
+#include "analysis/region_impact.hpp"
 #include "sim/context.hpp"
 #include "tuning/quality.hpp"
 #include "types/encoding.hpp"
@@ -102,6 +103,7 @@ AppAnalysis analyze(apps::App& app, double epsilon,
     std::vector<double> worst_coeff(S, 0.0);
     std::vector<SignalObservation> merged_obs(S);
     std::set<std::array<std::int32_t, 3>> cast_chains;
+    std::vector<CastSite> cast_sites;
     bool first = true;
 
     for (const unsigned set : options.input_sets) {
@@ -231,6 +233,7 @@ AppAnalysis analyze(apps::App& app, double epsilon,
         if (first) {
             result.flow = flow;
             result.lint = lint_trace(capture.program);
+            cast_sites = collect_cast_sites(capture.program, S);
             // Signal-level cast chains for the structural double-rounding
             // hazard: value crosses three signals through back-to-back
             // casts.
@@ -272,6 +275,60 @@ AppAnalysis analyze(apps::App& app, double epsilon,
     }
 
     const auto& table = app.signal_table();
+
+    // Dead-cast check, driven by the cast-site pass (region_impact.hpp):
+    // a cast whose source and destination signals are each forced to one
+    // and the same member format by the derived bounds elides under every
+    // reachable binding — the simulator never materializes it, so the
+    // source program can drop the conversion outright. "Reachable" is the
+    // sound over-approximation {members with precision >= lower_bits and
+    // exponent width >= exp_floor_bits}; a bound relaxation can only grow
+    // the set, so the diagnostic never outlives the bounds it came from.
+    constexpr std::array<FormatKind, 4> kMembers{
+        FormatKind::Binary8, FormatKind::Binary16, FormatKind::Binary16Alt,
+        FormatKind::Binary32};
+    const auto reachable_members = [&](std::int32_t sig) {
+        std::vector<FormatKind> members;
+        const SignalBound& sb = result.signals[static_cast<std::size_t>(sig)];
+        for (const FormatKind kind : kMembers) {
+            if (!options.type_system.contains(kind)) continue;
+            const FpFormat fmt = format_of(kind);
+            if (fmt.precision() >= sb.lower_bits &&
+                static_cast<int>(fmt.exp_bits) >= sb.exp_floor_bits) {
+                members.push_back(kind);
+            }
+        }
+        return members;
+    };
+    for (const CastSite& site : cast_sites) {
+        if (site.src_signal < 0 || site.dst_signal < 0 ||
+            site.src_signal == site.dst_signal ||
+            static_cast<std::size_t>(site.src_signal) >= S ||
+            static_cast<std::size_t>(site.dst_signal) >= S) {
+            continue;
+        }
+        const std::vector<FormatKind> src = reachable_members(site.src_signal);
+        const std::vector<FormatKind> dst = reachable_members(site.dst_signal);
+        if (src.size() != 1 || dst.size() != 1 || src[0] != dst[0]) continue;
+        LintDiagnostic d;
+        d.kind = LintKind::DeadCast;
+        d.instr_index = static_cast<std::int64_t>(site.first_instr);
+        d.signal = site.dst_signal;
+        std::ostringstream msg;
+        msg << "cast "
+            << table.name(static_cast<apps::SignalId>(site.src_signal))
+            << " -> "
+            << table.name(static_cast<apps::SignalId>(site.dst_signal))
+            << " is dead: the derived bounds force both signals to "
+            << format_name(format_of(src[0]))
+            << ", so the cast elides under every reachable binding — drop it";
+        if (site.occurrences > 1) {
+            msg << " [" << site.occurrences << " occurrences]";
+        }
+        d.message = std::move(msg).str();
+        result.lint.diagnostics.push_back(std::move(d));
+    }
+
     for (const auto& [sa, si, sf] : cast_chains) {
         LintDiagnostic d;
         d.kind = LintKind::DoubleRounding;

@@ -13,6 +13,7 @@ std::string_view name_of(LintKind kind) noexcept {
     case LintKind::DoubleRounding: return "double-rounding";
     case LintKind::InfeasibleAccumulation: return "infeasible-accumulation";
     case LintKind::SubnormalRange: return "subnormal-range";
+    case LintKind::DeadCast: return "dead-cast";
     }
     return "unknown";
 }

@@ -33,6 +33,10 @@ enum class LintKind : std::uint8_t {
     /// Signal whose whole value range is subnormal in narrow-exponent
     /// formats.
     SubnormalRange,
+    /// Cast site whose source and destination signals are forced to the
+    /// same member format by the derived bounds — the cast elides under
+    /// every reachable binding and the code can drop it outright.
+    DeadCast,
 };
 
 [[nodiscard]] std::string_view name_of(LintKind kind) noexcept;

@@ -1,0 +1,235 @@
+#include "analysis/region_impact.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "analysis/signal_flow.hpp"
+#include "sim/platform.hpp"
+
+namespace tp::analysis {
+namespace {
+
+/// Does the platform accounting charge anything format-dependent for this
+/// instruction? IntAlu/Branch costs are constants — a format change can
+/// move them only by changing control flow, which the consumer's branch
+/// skeleton gate handles.
+bool cost_carrying(sim::InstrKind kind) noexcept {
+    switch (kind) {
+    case sim::InstrKind::FpArith:
+    case sim::InstrKind::FpCast:
+    case sim::InstrKind::Load:
+    case sim::InstrKind::Store: return true;
+    case sim::InstrKind::IntAlu:
+    case sim::InstrKind::Branch: return false;
+    }
+    return false;
+}
+
+/// A format-independent vectorizer flush: a non-vectorizable FP/memory
+/// instruction commits every open bucket (vectorize.cpp flush_all) under
+/// EVERY binding. Non-vectorizable casts are deliberately excluded — a
+/// cast elides when its endpoint formats agree, so its flush exists only
+/// under some bindings and cannot delimit a window.
+bool window_barrier(const sim::Instr& instr) noexcept {
+    if (instr.vectorizable) return false;
+    switch (instr.kind) {
+    case sim::InstrKind::FpArith:
+    case sim::InstrKind::Load:
+    case sim::InstrKind::Store: return true;
+    default: return false;
+    }
+}
+
+/// Could this instruction enter a SIMD bucket under SOME binding? The
+/// capture's tag formats are never themselves groupable (lanes == 1), so
+/// the test is structural: the vectorizer buckets Add/Sub/Mul arithmetic
+/// and sub-word memory accesses, and any binding narrow enough makes a
+/// vectorizable instance of those eligible.
+bool potentially_bucketable(const sim::Instr& instr) noexcept {
+    if (!instr.vectorizable) return false;
+    switch (instr.kind) {
+    case sim::InstrKind::FpArith:
+        return instr.op == FpOp::Add || instr.op == FpOp::Sub ||
+               instr.op == FpOp::Mul;
+    case sim::InstrKind::Load:
+    case sim::InstrKind::Store: return true;
+    default: return false;
+    }
+}
+
+bool format_boundary_cast(const sim::Instr& instr) noexcept {
+    return instr.kind == sim::InstrKind::FpCast &&
+           instr.op != FpOp::FromInt && instr.op != FpOp::ToInt;
+}
+
+/// The signals whose bindings determine this instruction's cost-relevant
+/// fields, read off its tag formats (at most two).
+void touching_signals(const sim::Instr& instr, std::size_t signal_count,
+                      std::int32_t (&out)[2], int& count) {
+    count = 0;
+    switch (instr.kind) {
+    case sim::InstrKind::IntAlu:
+    case sim::InstrKind::Branch: return;
+    case sim::InstrKind::FpArith:
+    case sim::InstrKind::Load:
+    case sim::InstrKind::Store:
+        out[count++] = signal_of_tag(instr.fmt, signal_count);
+        return;
+    case sim::InstrKind::FpCast: {
+        const std::int32_t src = signal_of_tag(instr.fmt, signal_count);
+        const std::int32_t dst = signal_of_tag(instr.fmt2, signal_count);
+        out[count++] = src;
+        if (dst != src) out[count++] = dst;
+        return;
+    }
+    }
+}
+
+} // namespace
+
+bool RegionImpactMap::region_impacted(
+    std::size_t region, const std::vector<std::int32_t>& changed) const {
+    assert(region < region_count);
+    if (always_impacted[region] != 0) return true;
+    for (const std::int32_t signal : changed) {
+        if (signal < 0 || static_cast<std::size_t>(signal) >= impact.size()) {
+            return true; // out-of-map probe: conservative
+        }
+        if (impact[static_cast<std::size_t>(signal)][region] != 0) return true;
+    }
+    return false;
+}
+
+std::vector<CastSite> collect_cast_sites(const sim::TraceProgram& program,
+                                         std::size_t signal_count) {
+    std::map<std::pair<std::int32_t, std::int32_t>, CastSite> sites;
+    for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+        const sim::Instr& instr = program.instrs[i];
+        if (!format_boundary_cast(instr)) continue;
+        const std::int32_t src = signal_of_tag(instr.fmt, signal_count);
+        const std::int32_t dst = signal_of_tag(instr.fmt2, signal_count);
+        const auto [it, inserted] =
+            sites.try_emplace({src, dst}, CastSite{src, dst, i, 0});
+        ++it->second.occurrences;
+    }
+    std::vector<CastSite> result;
+    result.reserve(sites.size());
+    for (const auto& [key, site] : sites) result.push_back(site);
+    std::sort(result.begin(), result.end(),
+              [](const CastSite& a, const CastSite& b) {
+                  return a.first_instr < b.first_instr;
+              });
+    return result;
+}
+
+RegionImpactMap build_region_impact(const sim::TraceProgram& program,
+                                    std::size_t signal_count) {
+    RegionImpactMap map;
+    map.signal_count = signal_count;
+    map.cast_sites = collect_cast_sites(program, signal_count);
+
+    const std::vector<sim::CostRegion> regions = sim::cost_regions(program);
+    map.region_count = regions.size();
+    for (const sim::Instr& instr : program.instrs) {
+        map.branch_count += instr.kind == sim::InstrKind::Branch ? 1 : 0;
+    }
+    map.impact.assign(signal_count,
+                      std::vector<char>(map.region_count, 0));
+    map.always_impacted.assign(map.region_count, 0);
+
+    const auto mark = [&map](std::int32_t signal, std::size_t first_region,
+                             std::size_t last_region) {
+        for (std::size_t r = first_region; r <= last_region; ++r) {
+            if (signal == kUnknownSignal ||
+                static_cast<std::size_t>(signal) >= map.signal_count) {
+                map.always_impacted[r] = 1;
+            } else {
+                map.impact[static_cast<std::size_t>(signal)][r] = 1;
+            }
+        }
+    };
+
+    // One pass, tracking the current region and the open vector window.
+    // A window accumulates the signals touching it; when it closes (at a
+    // format-independent barrier or the trace end) and it contained a
+    // potentially bucketable instruction, every accumulated signal is
+    // smeared over the window's whole region span — the vectorizer may
+    // relocate bucketed cost anywhere up to the closing barrier, and the
+    // grouping itself couples every format in the window.
+    std::size_t region = 0;
+    std::size_t window_first_region = 0;
+    bool window_open = false;
+    bool window_bucketable = false;
+    std::vector<std::int32_t> window_signals; // deduplicated via in_window
+    std::vector<char> in_window(signal_count, 0);
+    bool window_unknown = false;
+
+    const auto close_window = [&](std::size_t last_region) {
+        if (window_open && window_bucketable) {
+            for (const std::int32_t signal : window_signals) {
+                mark(signal, window_first_region, last_region);
+            }
+            if (window_unknown) {
+                mark(kUnknownSignal, window_first_region, last_region);
+            }
+        }
+        for (const std::int32_t signal : window_signals) {
+            in_window[static_cast<std::size_t>(signal)] = 0;
+        }
+        window_open = false;
+        window_bucketable = false;
+        window_signals.clear();
+        window_unknown = false;
+    };
+
+    for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+        while (i >= regions[region].end) ++region;
+        const sim::Instr& instr = program.instrs[i];
+
+        std::int32_t touched[2];
+        int touched_count = 0;
+        if (cost_carrying(instr.kind)) {
+            // Exact attribution: the instruction's own cost lives in this
+            // region under every binding that keeps the branch skeleton
+            // (window smearing below covers relocation).
+            touching_signals(instr, signal_count, touched, touched_count);
+            if (touched_count == 0) {
+                mark(kUnknownSignal, region, region);
+            }
+            for (int t = 0; t < touched_count; ++t) {
+                mark(touched[t], region, region);
+            }
+        }
+
+        if (window_barrier(instr)) {
+            // The barrier itself cannot drift; it closes the window that
+            // precedes it and does not join any window.
+            close_window(region);
+            continue;
+        }
+
+        if (!window_open) {
+            window_open = true;
+            window_first_region = region;
+        }
+        window_bucketable = window_bucketable || potentially_bucketable(instr);
+        for (int t = 0; t < touched_count; ++t) {
+            if (touched[t] == kUnknownSignal ||
+                static_cast<std::size_t>(touched[t]) >= signal_count) {
+                window_unknown = true;
+            } else if (in_window[static_cast<std::size_t>(touched[t])] == 0) {
+                in_window[static_cast<std::size_t>(touched[t])] = 1;
+                window_signals.push_back(touched[t]);
+            }
+        }
+    }
+    // Trailing window: the vectorizer's final flush lands leftovers at
+    // the end of the trace, inside the last instruction's region (which
+    // `region` still indexes after the loop).
+    close_window(region);
+    return map;
+}
+
+} // namespace tp::analysis

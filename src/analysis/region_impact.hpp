@@ -1,0 +1,95 @@
+// Region-impact analysis — the static side of the cast-aware delta-cost
+// path (closing ROADMAP's "Smarter search" item).
+//
+// A cast-aware probe changes ONE signal's format; the cost terms of the
+// platform simulation (sim/platform.hpp) can only move where that
+// signal's binding is visible to the accounting: the instructions whose
+// format, width, cast endpoints, or SIMD grouping the signal determines.
+// This pass reads a TAGGED capture (signal_flow.hpp: every format in the
+// trace is a unique per-signal tag, control flow is the binary64 golden
+// reference) and computes, per SignalId, a sound over-approximation of
+// the cost regions (sim::cost_regions) a format change can reach:
+//
+//   * exact attribution — each cost-carrying instruction charges the
+//     signals its tags name (FpArith: the producing signal; FpCast: both
+//     endpoint signals, which also govern cast elision; Load/Store: the
+//     stream's signal, which is how a format follows a memory round-trip
+//     into every region that loads the stream back);
+//   * vector-window smearing — under a real binding the vectorizer
+//     (sim/vectorize.cpp) drifts bucketed instructions forward and fuses
+//     lanes, coupling the cost PLACEMENT of everything between two
+//     format-independent flush barriers. Any window containing a
+//     potentially bucketable instruction therefore smears every touching
+//     signal over all regions the window spans. Cast instructions never
+//     end a window: a cast elides when its endpoints agree, so its
+//     barrier is not format-independent;
+//   * an always-impacted set — regions holding cost-carrying
+//     instructions whose tags name no signal are charged to every probe.
+//
+// Soundness contract (mirroring derive_bounds.hpp): over-approximation
+// is allowed, omission is not — GIVEN THE SAME BRANCH SKELETON, a region
+// outside impact[s] has a bit-identical RegionCost under any two bindings
+// differing only in signal s. The skeleton premise is checked dynamically
+// by the consumer (eval_engine.cpp gates on branch counts and verifies
+// every spliced region by its cost signature), so an analysis
+// over-approximation can only cost speed, never bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace tp::analysis {
+
+/// One static cast site observed in a tagged capture, folded over its
+/// dynamic executions: the producing (source-format) and consuming
+/// (target-format) signals. Int<->FP conversions are excluded — they are
+/// structural, not format-boundary, casts. kUnknownSignal endpoints mark
+/// casts whose tags resolved to no signal.
+struct CastSite {
+    std::int32_t src_signal = -1;
+    std::int32_t dst_signal = -1;
+    std::size_t first_instr = 0; // first occurrence in the capture
+    std::size_t occurrences = 0; // dynamic executions of the site
+};
+
+/// The per-signal region-impact sets of one (app, input set) capture.
+/// Default-constructed (region_count == 0) means "no usable analysis" —
+/// consumers fall back to full re-costing.
+struct RegionImpactMap {
+    std::size_t signal_count = 0;
+    /// Branch count of the capture — the delta path's correspondence
+    /// gate: region indices transfer to another trace of the same app and
+    /// input set only when its branch count (and so its region partition)
+    /// matches.
+    std::uint64_t branch_count = 0;
+    std::size_t region_count = 0;
+    /// impact[signal][region] != 0: changing `signal`'s binding may
+    /// change `region`'s RegionCost.
+    std::vector<std::vector<char>> impact;
+    /// Regions charged to every probe (unattributable cost instructions).
+    std::vector<char> always_impacted;
+    /// Format-boundary cast sites (drives the dead-cast lint).
+    std::vector<CastSite> cast_sites;
+
+    /// Whether `region` may change when any signal in `changed` does.
+    [[nodiscard]] bool region_impacted(
+        std::size_t region, const std::vector<std::int32_t>& changed) const;
+};
+
+/// Builds the impact map from a tagged capture
+/// (analysis::capture_trace().program — scalar, tag formats). The region
+/// partition is sim::cost_regions() of that capture; window smearing
+/// makes the sets valid for the vectorized replays of real bindings too.
+[[nodiscard]] RegionImpactMap build_region_impact(
+    const sim::TraceProgram& program, std::size_t signal_count);
+
+/// The cast-site pass alone (the dead-cast lint's input): every
+/// format-boundary FpCast in the capture, folded per (src, dst) signal
+/// pair in first-occurrence order.
+[[nodiscard]] std::vector<CastSite> collect_cast_sites(
+    const sim::TraceProgram& program, std::size_t signal_count);
+
+} // namespace tp::analysis

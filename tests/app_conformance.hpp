@@ -36,9 +36,11 @@
 
 #include "analysis/derive_bounds.hpp"
 #include "analysis/range_analysis.hpp"
+#include "analysis/region_impact.hpp"
 #include "analysis/signal_flow.hpp"
 #include "apps/app.hpp"
 #include "sim/platform.hpp"
+#include "tuning/cast_aware.hpp"
 #include "tuning/eval_engine.hpp"
 #include "tuning/quality.hpp"
 #include "tuning/search.hpp"
@@ -492,6 +494,102 @@ TEST_P(AppConformanceTest, StaticAnalysisBoundsAreSound) {
     }
     EXPECT_LE(bounded.program_runs, cold.program_runs) << GetParam();
     EXPECT_EQ(cold_engine.stats().trials_skipped_by_bounds, 0u);
+}
+
+// --- delta-cost soundness ----------------------------------------------------
+
+// The delta-cost soundness contract (eval_engine.hpp): a cast-aware
+// search whose candidate probes route through EvalEngine::report_delta
+// returns a byte-identical CastAwareResult to the full-recost search —
+// base search, binding, energies, cast counts, moves, and every EvalStats
+// counter except the regions_recosted / regions_skipped_by_impact split,
+// which is exactly where the saved work shows up. Checked at threads=1
+// and threads=4 (the delta path must not perturb the cache-coherent
+// determinism contract).
+TEST_P(AppConformanceTest, DeltaCostedCastAwareIsExact) {
+    tuning::CastAwareOptions options;
+    options.search = conformance_search_options();
+    options.max_rounds = 2;
+
+    // Whether the static analysis can prove anything for this app: a
+    // (signal, region) pair with no impact edge. An app whose whole trace
+    // is one unbroken vector window (no non-vectorizable FP/memory
+    // barrier) soundly smears every signal over every region and the
+    // delta path degenerates to full recosting — identical bits either
+    // way, just no savings to assert.
+    bool provable = false;
+    {
+        const auto probe_app = this->app();
+        const std::size_t S = probe_app->signals().size();
+        const auto capture =
+            analysis::capture_trace(*probe_app, options.cost_input_set);
+        const auto impact = analysis::build_region_impact(capture.program, S);
+        for (std::size_t s = 0; s < S && !provable; ++s) {
+            for (std::size_t r = 0; r < impact.region_count; ++r) {
+                if (impact.impact[s][r] == 0 && impact.always_impacted[r] == 0) {
+                    provable = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    for (const unsigned threads : {1u, 4u}) {
+        const std::string label =
+            GetParam() + ": threads=" + std::to_string(threads);
+        options.search.threads = threads;
+
+        auto full_options = options;
+        full_options.delta_cost = false;
+        const auto full_app = this->app();
+        tuning::EvalEngine full_engine{
+            *full_app,
+            tuning::EvalEngine::Options{.threads = threads, .memoize = true}};
+        const tuning::CastAwareResult full =
+            cast_aware_search(full_engine, full_options);
+
+        const auto delta_app = this->app();
+        tuning::EvalEngine delta_engine{
+            *delta_app,
+            tuning::EvalEngine::Options{.threads = threads, .memoize = true}};
+        const tuning::CastAwareResult delta =
+            cast_aware_search(delta_engine, options);
+
+        expect_identical_results(full.base, delta.base, label + " base search");
+        ASSERT_EQ(full.config.size(), delta.config.size()) << label;
+        for (apps::SignalId id = 0; id < full.config.size(); ++id) {
+            EXPECT_EQ(full.config.at(id), delta.config.at(id))
+                << label << " signal " << id;
+        }
+        EXPECT_EQ(full.base_energy_pj, delta.base_energy_pj) << label;
+        EXPECT_EQ(full.tuned_energy_pj, delta.tuned_energy_pj) << label;
+        EXPECT_EQ(full.base_casts, delta.base_casts) << label;
+        EXPECT_EQ(full.tuned_casts, delta.tuned_casts) << label;
+        EXPECT_EQ(full.moves_accepted, delta.moves_accepted) << label;
+
+        // Identical work, except the recost/skip split: zero that out and
+        // the stats match counter-for-counter.
+        tuning::EvalStats full_stats = full.eval_stats;
+        tuning::EvalStats delta_stats = delta.eval_stats;
+        EXPECT_EQ(full_stats.regions_skipped_by_impact, 0u) << label;
+        full_stats.regions_recosted = 0;
+        full_stats.regions_skipped_by_impact = 0;
+        delta_stats.regions_recosted = 0;
+        delta_stats.regions_skipped_by_impact = 0;
+        EXPECT_EQ(full_stats, delta_stats) << label;
+
+        // When the impact map decouples at least one (signal, region)
+        // pair, the probes must actually splice: provable independence
+        // may not silently degenerate to full recosting.
+        if (provable) {
+            EXPECT_GT(delta.eval_stats.regions_skipped_by_impact, 0u) << label;
+            EXPECT_LT(delta.eval_stats.regions_recosted,
+                      full.eval_stats.regions_recosted)
+                << label;
+        } else {
+            EXPECT_EQ(delta.eval_stats.regions_skipped_by_impact, 0u) << label;
+        }
+    }
 }
 
 } // namespace tp::testing
